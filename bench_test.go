@@ -1,0 +1,77 @@
+// Root benchmarks: one per experiment of DESIGN.md §4. `go test -bench=.`
+// regenerates every table the reproduction reports (in quick mode; the
+// ldc-bench CLI runs the full sweeps).
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runExperiment(b *testing.B, run func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t.Render(io.Discard)
+			b.ReportMetric(float64(len(t.Rows)), "rows")
+		}
+	}
+}
+
+func BenchmarkE1_OLDCRounds(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E1)
+}
+
+func BenchmarkE2_OLDCMessageBits(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E2)
+}
+
+func BenchmarkE3_CSRMessageSize(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E3)
+}
+
+func BenchmarkE4_CSRTime(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E4)
+}
+
+func BenchmarkE5_Arbdefective(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E5)
+}
+
+func BenchmarkE6_CongestDelta1(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E6)
+}
+
+func BenchmarkE7_ExistenceLDC(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E7)
+}
+
+func BenchmarkE8_ExistenceArb(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E8)
+}
+
+func BenchmarkE9_Linial(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E9)
+}
+
+func BenchmarkE10_Ablations(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E10)
+}
+
+func BenchmarkE11_NScaling(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E11)
+}
+
+func BenchmarkE12_InternalComputation(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E12)
+}
+
+func BenchmarkE13_EdgeColoring(b *testing.B) {
+	runExperiment(b, bench.Suite{Quick: true}.E13)
+}

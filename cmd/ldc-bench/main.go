@@ -1,0 +1,67 @@
+// Command ldc-bench runs the reproduction experiments E1–E10 (DESIGN.md §4)
+// and prints their tables; EXPERIMENTS.md is generated from its output.
+//
+// Usage:
+//
+//	ldc-bench                  # run everything at full size
+//	ldc-bench -quick           # smaller sweeps (< a few seconds)
+//	ldc-bench -run E1,E6       # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size sweeps")
+	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	s := bench.Suite{Quick: *quick}
+	runners := map[string]func() (*bench.Table, error){
+		"E1": s.E1, "E2": s.E2, "E3": s.E3, "E4": s.E4, "E5": s.E5,
+		"E6": s.E6, "E7": s.E7, "E8": s.E8, "E9": s.E9, "E10": s.E10, "E11": s.E11, "E12": s.E12, "E13": s.E13,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+
+	var selected []string
+	if *run == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	failed := false
+	for _, id := range selected {
+		t, err := runners[id]()
+		if t != nil {
+			if *asCSV {
+				if cerr := t.RenderCSV(os.Stdout); cerr != nil {
+					fmt.Fprintf(os.Stderr, "%s csv: %v\n", id, cerr)
+					failed = true
+				}
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,249 @@
+// Command ldc-run runs a single coloring algorithm on a generated graph
+// and reports rounds, message statistics, and (optionally) the coloring
+// itself as JSON. It is the ad-hoc exploration companion to ldc-bench.
+//
+// Usage examples:
+//
+//	ldc-run -graph regular -n 128 -deg 8 -algo delta1
+//	ldc-run -graph gnp -n 200 -p 0.05 -algo luby -json
+//	ldc-run -graph torus -rows 8 -cols 8 -algo mis
+//	ldc-run -graph regular -n 64 -deg 8 -algo oldc -kappa 6
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/linial"
+	"repro/internal/mis"
+	"repro/internal/oldc"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+type output struct {
+	Graph       string   `json:"graph"`
+	N           int      `json:"n"`
+	Edges       [][2]int `json:"edges,omitempty"`
+	M           int      `json:"m"`
+	MaxDegree   int      `json:"max_degree"`
+	Algorithm   string   `json:"algorithm"`
+	Rounds      int      `json:"rounds"`
+	Messages    int64    `json:"messages"`
+	TotalBits   int64    `json:"total_bits"`
+	MaxMsgBits  int      `json:"max_message_bits"`
+	ColorsUsed  int      `json:"colors_used,omitempty"`
+	MISSize     int      `json:"mis_size,omitempty"`
+	Valid       bool     `json:"valid"`
+	Coloring    []int    `json:"coloring,omitempty"`
+	Independent []bool   `json:"independent_set,omitempty"`
+	SeedUsed    int64    `json:"seed"`
+	KappaUsed   float64  `json:"kappa,omitempty"`
+
+	roundMaxBits []int // -trace timeline (not serialized)
+}
+
+func main() {
+	var (
+		gname  = flag.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric")
+		n      = flag.Int("n", 64, "node count (where applicable)")
+		deg    = flag.Int("deg", 6, "degree for regular / attachment count for pa")
+		p      = flag.Float64("p", 0.1, "edge probability for gnp")
+		rows   = flag.Int("rows", 8, "rows for grid/torus")
+		cols   = flag.Int("cols", 8, "cols for grid/torus")
+		dim    = flag.Int("dim", 6, "dimension for hypercube")
+		radius = flag.Float64("radius", 0.15, "radius for geometric")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		algo   = flag.String("algo", "delta1", "delta1|linear|slow|luby|greedy|mis|mis-luby|oldc")
+		kappa  = flag.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
+		asJSON = flag.Bool("json", false, "emit the full result as JSON")
+		trace  = flag.Bool("trace", false, "print the per-round maximum message size timeline")
+	)
+	flag.Parse()
+
+	g := buildGraph(*gname, *n, *deg, *p, *rows, *cols, *dim, *radius, *seed)
+	out := output{Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Algorithm: *algo, SeedUsed: *seed}
+
+	switch *algo {
+	case "delta1":
+		res, err := congest.DeltaPlusOne(g, congest.Config{})
+		die(err)
+		fill(&out, res.Stats, res.Phi)
+		out.Valid = coloring.CheckProper(g, res.Phi, g.MaxDegree()+1) == nil
+	case "linear":
+		phi, stats, err := baseline.LinearDeltaPlusOne(sim.NewEngine(g), g)
+		die(err)
+		fill(&out, stats, phi)
+		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+	case "slow":
+		phi, stats, err := baseline.SlowFold(sim.NewEngine(g), g)
+		die(err)
+		fill(&out, stats, phi)
+		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+	case "luby":
+		phi, stats, err := baseline.Luby(sim.NewEngine(g), g, *seed)
+		die(err)
+		fill(&out, stats, phi)
+		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+	case "greedy":
+		in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+2, *seed)
+		phi, err := seq.Greedy(in)
+		die(err)
+		fill(&out, sim.Stats{}, phi)
+		out.Valid = coloring.CheckProperList(in, phi) == nil
+	case "mis":
+		set, stats, err := mis.Deterministic(g)
+		die(err)
+		out.Rounds = stats.Rounds
+		out.Messages = stats.Messages
+		out.TotalBits = stats.TotalBits
+		out.MaxMsgBits = stats.MaxMessageBits
+		out.Valid = mis.Check(g, set) == nil
+		out.MISSize = countTrue(set)
+		if *asJSON {
+			out.Independent = set
+		}
+	case "mis-luby":
+		set, stats, err := mis.Luby(sim.NewEngine(g), g, *seed)
+		die(err)
+		out.Rounds = stats.Rounds
+		out.Messages = stats.Messages
+		out.TotalBits = stats.TotalBits
+		out.MaxMsgBits = stats.MaxMessageBits
+		out.Valid = mis.Check(g, set) == nil
+		out.MISSize = countTrue(set)
+		if *asJSON {
+			out.Independent = set
+		}
+	case "oldc":
+		o := graph.OrientByID(g)
+		eng := sim.NewEngine(g)
+		init, m, _, err := linial.Proper(eng, graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
+		die(err)
+		inst := coloring.SquareSumOrientedRange(o, 4096, *kappa, 1, 3, *seed)
+		in := oldc.Input{O: o, SpaceSize: 4096, Lists: inst.Lists, InitColors: init, M: m}
+		phi, stats, err := oldc.Solve(eng, in, oldc.Options{})
+		die(err)
+		fill(&out, stats, phi)
+		out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
+		out.KappaUsed = *kappa
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	if *asJSON {
+		// Include the edge list so the document is self-contained and can
+		// be piped into ldc-verify.
+		g.ForEachEdge(func(u, v int) { out.Edges = append(out.Edges, [2]int{u, v}) })
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		die(enc.Encode(out))
+		return
+	}
+	fmt.Printf("graph=%s n=%d m=%d Δ=%d\n", out.Graph, out.N, out.M, out.MaxDegree)
+	fmt.Printf("algo=%s rounds=%d messages=%d total=%d bits max-msg=%d bits\n",
+		out.Algorithm, out.Rounds, out.Messages, out.TotalBits, out.MaxMsgBits)
+	if out.ColorsUsed > 0 {
+		fmt.Printf("colors used: %d\n", out.ColorsUsed)
+	}
+	if out.MISSize > 0 {
+		fmt.Printf("MIS size: %d\n", out.MISSize)
+	}
+	fmt.Printf("valid: %v\n", out.Valid)
+	if *trace && len(out.roundMaxBits) > 0 {
+		fmt.Println("round : max message bits")
+		for r, bits := range out.roundMaxBits {
+			fmt.Printf("%5d : %s (%d)\n", r, bar(bits, maxOf(out.roundMaxBits)), bits)
+		}
+	}
+	if !out.Valid {
+		os.Exit(1)
+	}
+}
+
+func bar(v, max int) string {
+	if max == 0 {
+		return ""
+	}
+	n := v * 40 / max
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius float64, seed int64) *graph.Graph {
+	switch name {
+	case "ring":
+		return graph.Ring(n)
+	case "clique":
+		return graph.Clique(n)
+	case "grid":
+		return graph.Grid(rows, cols)
+	case "torus":
+		return graph.Torus(rows, cols)
+	case "hypercube":
+		return graph.Hypercube(dim)
+	case "regular":
+		if n*deg%2 != 0 {
+			n++
+		}
+		return graph.RandomRegular(n, deg, seed)
+	case "gnp":
+		return graph.GNP(n, p, seed)
+	case "tree":
+		return graph.RandomTree(n, seed)
+	case "pa":
+		return graph.PreferentialAttachment(n, deg, seed)
+	case "geometric":
+		g, _ := graph.RandomGeometric(n, radius, seed)
+		return g
+	default:
+		log.Fatalf("unknown graph family %q", name)
+		return nil
+	}
+}
+
+func fill(out *output, stats sim.Stats, phi coloring.Assignment) {
+	out.Rounds = stats.Rounds
+	out.Messages = stats.Messages
+	out.TotalBits = stats.TotalBits
+	out.MaxMsgBits = stats.MaxMessageBits
+	out.ColorsUsed = coloring.CountColors(phi)
+	out.Coloring = phi
+	out.roundMaxBits = stats.RoundMaxBits
+}
+
+func countTrue(set []bool) int {
+	c := 0
+	for _, s := range set {
+		if s {
+			c++
+		}
+	}
+	return c
+}
+
+func die(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Frequency assignment: cell towers in the plane must pick radio channels.
+// Towers within interference range form the conflict graph. Each tower has
+// a list of licensed channels; cheap channels tolerate a few co-channel
+// interferers (they run at lower power), premium channels tolerate none.
+// That is *exactly* a list defective coloring instance (Definition 1.1 of
+// the paper), and the Theorem 1.3/1.4 machinery assigns channels
+// distributedly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/coloring"
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+const (
+	numTowers   = 120
+	rangeRadius = 0.14
+	channels    = 48 // licensed spectrum: channels 0..47
+	premium     = 16 // channels 0..15 are interference-free premium
+)
+
+func main() {
+	g, pts := graph.RandomGeometric(numTowers, rangeRadius, 7)
+	fmt.Printf("towers: %d, interference links: %d, max interferers: %d\n",
+		g.N(), g.M(), g.MaxDegree())
+
+	// Build the licensing lists: every tower gets enough channel weight to
+	// satisfy Σ(d_v(x)+1) > deg(v) — premium channels count 1, cheap
+	// channels (defect 2) count 3.
+	rng := rand.New(rand.NewSource(99))
+	in := &coloring.Instance{G: g, SpaceSize: channels, Lists: make([]coloring.NodeList, g.N())}
+	for v := 0; v < g.N(); v++ {
+		need := g.Degree(v) + 1
+		var cols, defs []int
+		seen := map[int]bool{}
+		weight := 0
+		for weight < need {
+			c := rng.Intn(channels)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			cols = append(cols, c)
+			if c < premium {
+				defs = append(defs, 0)
+				weight++
+			} else {
+				defs = append(defs, 2)
+				weight += 3
+			}
+		}
+		sortPairs(cols, defs)
+		in.Lists[v] = coloring.NodeList{Colors: cols, Defect: defs}
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := congest.DegreePlusOneList(g, in, congest.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assignment computed in %d simulated rounds (max message %d bits)\n",
+		res.Stats.Rounds, res.Stats.MaxMessageBits)
+
+	// Report spectrum usage and interference.
+	usage := map[int]int{}
+	interfered := 0
+	for v := 0; v < g.N(); v++ {
+		usage[res.Phi[v]]++
+		for _, u := range g.Neighbors(v) {
+			if res.Phi[u] == res.Phi[v] {
+				interfered++
+				break
+			}
+		}
+	}
+	fmt.Printf("channels used: %d/%d, towers sharing a channel with a neighbor: %d\n",
+		len(usage), channels, interfered)
+	for v := 0; v < 5; v++ {
+		d, _ := in.Lists[v].DefectOf(res.Phi[v])
+		kind := "premium"
+		if res.Phi[v] >= premium {
+			kind = "cheap"
+		}
+		fmt.Printf("  tower %2d at (%.2f, %.2f): channel %2d (%s, tolerates %d interferers)\n",
+			v, pts[v][0], pts[v][1], res.Phi[v], kind, d)
+	}
+}
+
+func sortPairs(cols, defs []int) {
+	idx := make([]int, len(cols))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cols[idx[a]] < cols[idx[b]] })
+	nc := make([]int, len(cols))
+	nd := make([]int, len(defs))
+	for i, j := range idx {
+		nc[i], nd[i] = cols[j], defs[j]
+	}
+	copy(cols, nc)
+	copy(defs, nd)
+}

@@ -1,0 +1,56 @@
+// Maximal independent set via coloring — the canonical application of
+// distributed coloring. A (Δ+1)-coloring from the paper's Theorem 1.4
+// pipeline is converted into an MIS by letting one color class join per
+// round; the example compares the deterministic route against Luby's
+// randomized MIS on the same sensor-network-style topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/mis"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A sensor field: random geometric graph in the unit square.
+	g, _ := graph.RandomGeometric(150, 0.12, 5)
+	comps, _ := g.Components()
+	fmt.Printf("sensor field: %d nodes, %d links, Δ=%d, %d components\n",
+		g.N(), g.M(), g.MaxDegree(), comps)
+
+	det, detStats, err := mis.Deterministic(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deterministic MIS (Thm 1.4 coloring + class sweep): size %d in %d rounds\n",
+		count(det), detStats.Rounds)
+
+	rnd, rndStats, err := mis.Luby(sim.NewEngine(g), g, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Luby randomized MIS:                               size %d in %d rounds\n",
+		count(rnd), rndStats.Rounds)
+
+	// Both are maximal independent sets — the cluster-head property: every
+	// node is a head or hears one.
+	for _, set := range [][]bool{det, rnd} {
+		if err := mis.Check(g, set); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("both verified: every sensor is a cluster head or adjacent to one")
+}
+
+func count(set []bool) int {
+	c := 0
+	for _, s := range set {
+		if s {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package arb
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/linial"
+	"repro/internal/oldc"
+	"repro/internal/sim"
+)
+
+func bootstrap(t *testing.T, g *graph.Graph) ([]int, int) {
+	t.Helper()
+	eng := sim.NewEngine(g)
+	init, m, _, err := linial.Proper(eng, graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return init, m
+}
+
+func TestDegreePlusOneListColoring(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RandomRegular(48, 8, 1),
+		graph.GNP(60, 0.12, 2),
+		graph.Clique(10),
+	} {
+		init, m := bootstrap(t, g)
+		in := coloring.DegreePlusOne(g, 4*g.MaxDegree()+4, 3)
+		res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero defects: the arbdefective coloring is in fact proper.
+		if err := coloring.CheckProperList(in, res.Phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStandardDeltaPlusOne(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 5)
+	init, m := bootstrap(t, g)
+	in := coloring.Standard(g)
+	res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProper(g, res.Phi, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages < 1 || res.Batches < 1 {
+		t.Fatalf("stages=%d batches=%d", res.Stages, res.Batches)
+	}
+}
+
+func TestArbdefectiveInstanceWithDefects(t *testing.T) {
+	// Lists of size ≈ deg/2 with defect 1: Σ(d+1) = 2·|L| > deg.
+	g := graph.RandomRegular(48, 8, 7)
+	in := coloring.UniformDefective(g, 256, 5, 1, 11) // Σ(d+1) = 10 > 8
+	init, m := bootstrap(t, g)
+	res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckArb(in, res.Phi, res.Orient); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsViolatingInstance(t *testing.T) {
+	in := coloring.CliqueUniform(8, 0, 7) // Σ(d+1) = 7 = deg
+	g := in.G
+	init, m := bootstrap(t, g)
+	if _, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{}); err == nil {
+		t.Fatal("expected condition violation error")
+	}
+}
+
+func TestPickResidualColor(t *testing.T) {
+	l := coloring.NodeList{Colors: []int{1, 2, 3}, Defect: []int{0, 1, 0}}
+	x, ok := pickResidualColor(l, map[int]int{1: 1, 2: 2, 3: 0})
+	if !ok || x != 3 {
+		t.Fatalf("got %d,%v", x, ok)
+	}
+	if _, ok := pickResidualColor(l, map[int]int{1: 1, 2: 2, 3: 1}); ok {
+		t.Fatal("no residual color should exist")
+	}
+}
+
+func TestRingAndTree(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(30), graph.RandomTree(50, 9)} {
+		init, m := bootstrap(t, g)
+		in := coloring.DegreePlusOne(g, 16, 13)
+		res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckProperList(in, res.Phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolveViaDefectiveDegreePlusOne(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RandomRegular(48, 8, 31),
+		graph.GNP(60, 0.12, 33),
+		graph.Clique(9),
+	} {
+		init, m := bootstrap(t, g)
+		in := coloring.DegreePlusOne(g, 4*g.MaxDegree()+4, 35)
+		res, err := SolveViaDefective(g, in, init, m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckProperList(in, res.Phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolveViaDefectiveWithDefects(t *testing.T) {
+	g := graph.RandomRegular(40, 8, 37)
+	in := coloring.UniformDefective(g, 128, 5, 1, 39) // Σ(d+1)=10 > 8
+	init, m := bootstrap(t, g)
+	res, err := SolveViaDefective(g, in, init, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckArb(in, res.Phi, res.Orient); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveViaDefectiveRejects(t *testing.T) {
+	in := coloring.CliqueUniform(6, 0, 5)
+	g := in.G
+	init, m := bootstrap(t, g)
+	if _, err := SolveViaDefective(g, in, init, m, Config{}); err == nil {
+		t.Fatal("expected condition violation")
+	}
+}
+
+func TestFallbackSchedulePath(t *testing.T) {
+	// MaxStages 1 forces almost everything through the deterministic
+	// fallback; the output must still be a valid proper list coloring.
+	g := graph.RandomRegular(48, 8, 61)
+	init, m := bootstrap(t, g)
+	in := coloring.DegreePlusOne(g, 4*g.MaxDegree(), 63)
+	res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{MaxStages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProperList(in, res.Phi); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages > 1 {
+		t.Fatalf("stages=%d with MaxStages=1", res.Stages)
+	}
+}
+
+func TestFallbackOnlyPath(t *testing.T) {
+	// MaxStages so small that no stage runs at all: the fallback colors
+	// everything from scratch.
+	g := graph.GNP(40, 0.15, 65)
+	init, m := bootstrap(t, g)
+	in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+4, 67)
+	res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{MaxStages: 1, ClassFactor: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProperList(in, res.Phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassFactorAffectsBatches(t *testing.T) {
+	g := graph.RandomRegular(48, 12, 17)
+	init, m := bootstrap(t, g)
+	run := func(cf float64) int {
+		in := coloring.DegreePlusOne(g, 4*g.MaxDegree(), 19)
+		res, err := SolveListArbdefective(g, in, init, m, oldc.Solve, Config{ClassFactor: cf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Batches
+	}
+	small := run(0.5)
+	large := run(2.5)
+	if small <= 0 || large <= 0 {
+		t.Fatal("no batches")
+	}
+	if large < small {
+		// More classes per stage → at least as many batches.
+		t.Fatalf("batches: factor 0.5 → %d, factor 2.5 → %d", small, large)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "T0",
+		Title:  "demo",
+		Claim:  "demo claim",
+		Header: []string{"a", "bee"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", true)
+	tb.Notes = append(tb.Notes, "a note")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T0 — demo", "demo claim", "bee", "2.50", "xyz", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{ID: "T1", Title: "t", Claim: "c", Header: []string{"x", "y"}}
+	tb.AddRow(1, "a,b")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x,y") || !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+}
+
+func TestSuitePick(t *testing.T) {
+	s := Suite{Quick: true}
+	if got := s.pick([]int{1}, []int{1, 2}); len(got) != 1 {
+		t.Fatal("quick pick wrong")
+	}
+	s.Quick = false
+	if got := s.pick([]int{1}, []int{1, 2}); len(got) != 2 {
+		t.Fatal("full pick wrong")
+	}
+}
+
+// Each experiment must complete and produce at least one row in quick mode.
+func TestExperimentsQuick(t *testing.T) {
+	s := Suite{Quick: true}
+	for _, tc := range []struct {
+		name string
+		run  func() (*Table, error)
+	}{
+		{"E1", s.E1}, {"E2", s.E2}, {"E3", s.E3}, {"E4", s.E4}, {"E5", s.E5},
+		{"E6", s.E6}, {"E7", s.E7}, {"E8", s.E8}, {"E9", s.E9}, {"E10", s.E10}, {"E11", s.E11}, {"E12", s.E12}, {"E13", s.E13},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			var buf bytes.Buffer
+			tb.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+// Package bitio implements bit-granular encoding used to account for
+// CONGEST message sizes faithfully: the simulator measures the exact number
+// of bits each algorithm puts on a wire per round, rather than counting
+// words or structs.
+//
+// The encodings offered match the ones the paper's message-size analyses
+// assume: fixed-width fields (log|C| bits per color), characteristic
+// bit vectors (|C| bits per color set), Elias-gamma for self-delimiting
+// integers, and unsigned varints.
+package bitio
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Writer accumulates a bit string.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated bits packed MSB-first into bytes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteUint appends the low `width` bits of x, MSB first. width must be in
+// [0, 64] and x must fit.
+func (w *Writer) WriteUint(x uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: bad width %d", width))
+	}
+	if width < 64 && x>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitio: value %d does not fit in %d bits", x, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint(x>>uint(i)) & 1)
+	}
+}
+
+// WriteEliasGamma appends x >= 1 in Elias gamma code (2*floor(log2 x)+1
+// bits).
+func (w *Writer) WriteEliasGamma(x uint64) {
+	if x == 0 {
+		panic("bitio: Elias gamma needs x >= 1")
+	}
+	n := bits.Len64(x) - 1
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteUint(x, n+1)
+}
+
+// WriteVarint appends x as a self-delimiting Elias-gamma coded value,
+// shifted so that 0 is representable.
+func (w *Writer) WriteVarint(x uint64) { w.WriteEliasGamma(x + 1) }
+
+// WriteBitset appends the characteristic vector of the set over a universe
+// of the given size: exactly `universe` bits.
+func (w *Writer) WriteBitset(set []int, universe int) {
+	mark := make([]bool, universe)
+	for _, x := range set {
+		if x < 0 || x >= universe {
+			panic(fmt.Sprintf("bitio: element %d outside universe %d", x, universe))
+		}
+		mark[x] = true
+	}
+	for _, b := range mark {
+		if b {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+}
+
+// Reader consumes a bit string produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+// NewReader returns a Reader over nbit bits of buf.
+func NewReader(buf []byte, nbit int) *Reader { return &Reader{buf: buf, nbit: nbit} }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() uint {
+	if r.pos >= r.nbit {
+		panic("bitio: read past end")
+	}
+	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	r.pos++
+	return b
+}
+
+// ReadUint consumes a fixed-width unsigned integer.
+func (r *Reader) ReadUint(width int) uint64 {
+	var x uint64
+	for i := 0; i < width; i++ {
+		x = x<<1 | uint64(r.ReadBit())
+	}
+	return x
+}
+
+// ReadEliasGamma consumes an Elias-gamma coded value.
+func (r *Reader) ReadEliasGamma() uint64 {
+	n := 0
+	for r.ReadBit() == 0 {
+		n++
+		if n > 64 {
+			panic("bitio: malformed Elias gamma code")
+		}
+	}
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x<<1 | uint64(r.ReadBit())
+	}
+	return x
+}
+
+// ReadVarint consumes a value written by WriteVarint.
+func (r *Reader) ReadVarint() uint64 { return r.ReadEliasGamma() - 1 }
+
+// ReadBitset consumes a characteristic vector over the given universe.
+func (r *Reader) ReadBitset(universe int) []int {
+	var set []int
+	for i := 0; i < universe; i++ {
+		if r.ReadBit() == 1 {
+			set = append(set, i)
+		}
+	}
+	return set
+}
+
+// WidthFor returns the number of bits needed to address values in [0, n),
+// i.e. ceil(log2 n), with WidthFor(0) == WidthFor(1) == 0.
+func WidthFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n - 1))
+}

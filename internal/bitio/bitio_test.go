@@ -1,0 +1,165 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(bits) {
+		t.Fatalf("Len=%d", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range bits {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(x uint64, extra uint8) bool {
+		width := WidthFor(int(x%1000000)) + int(extra%8)
+		if width > 64 {
+			width = 64
+		}
+		val := x
+		if width < 64 {
+			val = x & ((1 << uint(width)) - 1)
+		}
+		w := NewWriter()
+		w.WriteUint(val, width)
+		r := NewReader(w.Bytes(), w.Len())
+		return r.ReadUint(width) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overflow value")
+		}
+	}()
+	NewWriter().WriteUint(8, 3)
+}
+
+func TestEliasGamma(t *testing.T) {
+	w := NewWriter()
+	vals := []uint64{1, 2, 3, 4, 7, 8, 100, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		w.WriteEliasGamma(v)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		if got := r.ReadEliasGamma(); got != v {
+			t.Fatalf("got %d want %d", got, v)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bits left over", r.Remaining())
+	}
+}
+
+func TestEliasGammaLength(t *testing.T) {
+	// gamma(1) is 1 bit, gamma(2..3) is 3 bits, gamma(4..7) is 5 bits.
+	for _, tc := range []struct {
+		v    uint64
+		bits int
+	}{{1, 1}, {2, 3}, {3, 3}, {4, 5}, {7, 5}, {8, 7}} {
+		w := NewWriter()
+		w.WriteEliasGamma(tc.v)
+		if w.Len() != tc.bits {
+			t.Fatalf("gamma(%d) = %d bits, want %d", tc.v, w.Len(), tc.bits)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		x %= 1 << 62
+		w := NewWriter()
+		w.WriteVarint(x)
+		r := NewReader(w.Bytes(), w.Len())
+		return r.ReadVarint() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		universe := 1 + rng.Intn(200)
+		var set []int
+		seen := map[int]bool{}
+		for i := 0; i < rng.Intn(universe); i++ {
+			x := rng.Intn(universe)
+			if !seen[x] {
+				seen[x] = true
+				set = append(set, x)
+			}
+		}
+		w := NewWriter()
+		w.WriteBitset(set, universe)
+		if w.Len() != universe {
+			t.Fatalf("bitset over %d should be exactly %d bits, got %d", universe, universe, w.Len())
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got := r.ReadBitset(universe)
+		if len(got) != len(set) {
+			t.Fatalf("got %d elements want %d", len(got), len(set))
+		}
+		for _, x := range got {
+			if !seen[x] {
+				t.Fatalf("unexpected element %d", x)
+			}
+		}
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11}} {
+		if got := WidthFor(tc.n); got != tc.w {
+			t.Fatalf("WidthFor(%d)=%d want %d", tc.n, got, tc.w)
+		}
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	w := NewWriter()
+	w.WriteBit(1)
+	w.WriteUint(5, 3)
+	w.WriteVarint(0)
+	w.WriteEliasGamma(9)
+	w.WriteBitset([]int{0, 2}, 4)
+	r := NewReader(w.Bytes(), w.Len())
+	if r.ReadBit() != 1 || r.ReadUint(3) != 5 || r.ReadVarint() != 0 || r.ReadEliasGamma() != 9 {
+		t.Fatal("mixed stream corrupted")
+	}
+	got := r.ReadBitset(4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("bitset got %v", got)
+	}
+	if r.Remaining() != 0 {
+		t.Fatal("leftover bits")
+	}
+}
+
+func TestReadPastEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReader(nil, 0).ReadBit()
+}

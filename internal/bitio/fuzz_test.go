@@ -1,0 +1,87 @@
+package bitio
+
+import "testing"
+
+// FuzzVarintRoundTrip exercises the self-delimiting integer codec; the
+// seed corpus runs under plain `go test`, and `go test -fuzz=FuzzVarint`
+// explores further.
+func FuzzVarintRoundTrip(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 127, 128, 1 << 20, 1<<62 - 1} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x uint64) {
+		x %= 1 << 62
+		w := NewWriter()
+		w.WriteVarint(x)
+		r := NewReader(w.Bytes(), w.Len())
+		if got := r.ReadVarint(); got != x {
+			t.Fatalf("round trip: wrote %d read %d", x, got)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bits left over", r.Remaining())
+		}
+	})
+}
+
+// FuzzMixedStream interleaves all codecs driven by a byte script.
+func FuzzMixedStream(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint64(42))
+	f.Add([]byte{3, 2, 1, 0, 3, 2, 1}, uint64(1<<40))
+	f.Fuzz(func(t *testing.T, script []byte, val uint64) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		w := NewWriter()
+		type op struct {
+			kind  int
+			value uint64
+			width int
+		}
+		var ops []op
+		v := val
+		for _, b := range script {
+			switch b % 4 {
+			case 0:
+				w.WriteBit(uint(v) & 1)
+				ops = append(ops, op{kind: 0, value: v & 1})
+			case 1:
+				width := int(b%64) + 1
+				x := v
+				if width < 64 {
+					x &= (1 << uint(width)) - 1
+				}
+				w.WriteUint(x, width)
+				ops = append(ops, op{kind: 1, value: x, width: width})
+			case 2:
+				x := v%(1<<40) + 1
+				w.WriteEliasGamma(x)
+				ops = append(ops, op{kind: 2, value: x})
+			default:
+				x := v % (1 << 40)
+				w.WriteVarint(x)
+				ops = append(ops, op{kind: 3, value: x})
+			}
+			v = v*6364136223846793005 + 1442695040888963407
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i, o := range ops {
+			var got uint64
+			switch o.kind {
+			case 0:
+				got = uint64(r.ReadBit())
+			case 1:
+				got = r.ReadUint(o.width)
+			case 2:
+				got = r.ReadEliasGamma()
+			default:
+				got = r.ReadVarint()
+			}
+			if got != o.value {
+				t.Fatalf("op %d kind %d: wrote %d read %d", i, o.kind, o.value, got)
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bits left over", r.Remaining())
+		}
+	})
+}

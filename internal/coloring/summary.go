@@ -1,0 +1,80 @@
+package coloring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary describes an instance's shape: list sizes, defect distribution,
+// and condition slack. The CLI and examples use it for human-readable
+// instance reports.
+type Summary struct {
+	Nodes        int
+	SpaceSize    int
+	MinListSize  int
+	MaxListSize  int
+	AvgListSize  float64
+	MaxDefect    int
+	ZeroDefect   bool // all defects zero (proper list coloring instance)
+	MinSlackLDC  int  // min over v of Σ(d+1) − deg(v)   (condition (1))
+	MinSlackArb  int  // min over v of Σ(2d+1) − deg(v)  (condition (2))
+	SatisfiesLDC bool
+	SatisfiesArb bool
+}
+
+// Summarize computes the Summary of an instance.
+func Summarize(in *Instance) Summary {
+	s := Summary{Nodes: in.G.N(), SpaceSize: in.SpaceSize, MinListSize: 1 << 30, ZeroDefect: true}
+	totalList := 0
+	s.MinSlackLDC = 1 << 30
+	s.MinSlackArb = 1 << 30
+	for v, l := range in.Lists {
+		n := l.Len()
+		totalList += n
+		if n < s.MinListSize {
+			s.MinListSize = n
+		}
+		if n > s.MaxListSize {
+			s.MaxListSize = n
+		}
+		w1, w2 := 0, 0
+		for _, d := range l.Defect {
+			if d > s.MaxDefect {
+				s.MaxDefect = d
+			}
+			if d != 0 {
+				s.ZeroDefect = false
+			}
+			w1 += d + 1
+			w2 += 2*d + 1
+		}
+		if slack := w1 - in.G.Degree(v); slack < s.MinSlackLDC {
+			s.MinSlackLDC = slack
+		}
+		if slack := w2 - in.G.Degree(v); slack < s.MinSlackArb {
+			s.MinSlackArb = slack
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgListSize = float64(totalList) / float64(s.Nodes)
+	} else {
+		s.MinListSize = 0
+		s.MinSlackLDC = 0
+		s.MinSlackArb = 0
+	}
+	s.SatisfiesLDC = s.MinSlackLDC > 0
+	s.SatisfiesArb = s.MinSlackArb > 0
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d |C|=%d lists [%d..%d] avg %.1f maxDefect=%d",
+		s.Nodes, s.SpaceSize, s.MinListSize, s.MaxListSize, s.AvgListSize, s.MaxDefect)
+	if s.ZeroDefect {
+		b.WriteString(" (proper)")
+	}
+	fmt.Fprintf(&b, " slack(1)=%d slack(2)=%d", s.MinSlackLDC, s.MinSlackArb)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package coloring
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSummarize(t *testing.T) {
+	g := graph.Ring(6)
+	in := &Instance{G: g, SpaceSize: 8, Lists: make([]NodeList, 6)}
+	for v := range in.Lists {
+		in.Lists[v] = NodeList{Colors: []int{0, 1, 2}, Defect: []int{0, 1, 0}}
+	}
+	s := Summarize(in)
+	if s.Nodes != 6 || s.SpaceSize != 8 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MinListSize != 3 || s.MaxListSize != 3 || s.AvgListSize != 3 {
+		t.Fatalf("list sizes wrong: %+v", s)
+	}
+	if s.MaxDefect != 1 || s.ZeroDefect {
+		t.Fatalf("defect fields wrong: %+v", s)
+	}
+	// Σ(d+1) = 4, deg = 2 → slack 2; Σ(2d+1) = 5 → slack 3.
+	if s.MinSlackLDC != 2 || s.MinSlackArb != 3 {
+		t.Fatalf("slacks wrong: %+v", s)
+	}
+	if !s.SatisfiesLDC || !s.SatisfiesArb {
+		t.Fatal("conditions should hold")
+	}
+	if !strings.Contains(s.String(), "slack(1)=2") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummarizeProperAndViolating(t *testing.T) {
+	in := CliqueUniform(5, 0, 4) // Σ(d+1) = 4 = deg: violates (1)
+	s := Summarize(in)
+	if s.SatisfiesLDC {
+		t.Fatal("violating instance reported as satisfying")
+	}
+	if !s.ZeroDefect {
+		t.Fatal("uniform d=0 must be proper")
+	}
+	if !strings.Contains(s.String(), "(proper)") {
+		t.Fatal("proper marker missing")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	s := Summarize(&Instance{G: g, SpaceSize: 4})
+	if s.Nodes != 0 || s.AvgListSize != 0 {
+		t.Fatalf("%+v", s)
+	}
+}

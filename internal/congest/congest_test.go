@@ -1,0 +1,151 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestDeltaPlusOneSmall(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Ring(24),
+		graph.Clique(8),
+		graph.RandomRegular(40, 6, 1),
+		graph.GNP(50, 0.12, 2),
+	} {
+		res, err := DeltaPlusOne(g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckProper(g, res.Phi, g.MaxDegree()+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDegreePlusOneListInstances(t *testing.T) {
+	g := graph.RandomRegular(48, 8, 3)
+	in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+2, 5)
+	res, err := DegreePlusOneList(g, in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProperList(in, res.Phi); err != nil {
+		t.Fatal(err)
+	}
+	if res.InitM < g.MaxDegree() {
+		t.Fatalf("bootstrap coloring too small: m=%d", res.InitM)
+	}
+}
+
+func TestCSRDepthStillCorrect(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 7)
+	in := coloring.DegreePlusOne(g, 64, 9)
+	res, err := DegreePlusOneList(g, in, Config{CSRDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProperList(in, res.Phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRDepthShrinksMessages(t *testing.T) {
+	// Corollary 4.2 in the full pipeline: CSR depth reduces the maximum
+	// message size (lists are announced over |C|^{1/r}-sized subspaces).
+	g := graph.RandomRegular(56, 10, 11)
+	space := 4 * g.MaxDegree()
+	in1 := coloring.DegreePlusOne(g, space, 13)
+	r1, err := DegreePlusOneList(g, in1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := coloring.DegreePlusOne(g, space, 13)
+	r2, err := DegreePlusOneList(g, in2, Config{CSRDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.MaxMessageBits > r1.Stats.MaxMessageBits {
+		t.Fatalf("CSR increased messages: %d vs %d bits", r2.Stats.MaxMessageBits, r1.Stats.MaxMessageBits)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 19)
+	res, err := DeltaPlusOne(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases=%d want 2", len(res.Phases))
+	}
+	sum := 0
+	for _, p := range res.Phases {
+		sum += p.Stats.Rounds
+	}
+	if sum != res.Stats.Rounds {
+		t.Fatalf("phase rounds %d != total %d", sum, res.Stats.Rounds)
+	}
+	if res.Batches < 1 || res.Stages < 1 {
+		t.Fatalf("batches=%d stages=%d", res.Batches, res.Stages)
+	}
+}
+
+func TestMessageSizesStayLogarithmic(t *testing.T) {
+	// The CONGEST claim: max message bits within a small multiple of log n
+	// across graph families.
+	for _, g := range []*graph.Graph{
+		graph.RandomRegular(64, 8, 23),
+		graph.GNP(80, 0.1, 29),
+		graph.Grid(8, 8),
+	} {
+		res, err := DeltaPlusOne(g, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logn := 1
+		for (1 << uint(logn)) < g.N() {
+			logn++
+		}
+		if res.Stats.MaxMessageBits > 12*logn {
+			t.Fatalf("max message %d bits exceeds 12·log n = %d", res.Stats.MaxMessageBits, 12*logn)
+		}
+	}
+}
+
+func TestBandwidthAssertion(t *testing.T) {
+	g := graph.RandomRegular(48, 6, 71)
+	logn := 1
+	for (1 << uint(logn)) < g.N() {
+		logn++
+	}
+	// A generous CONGEST budget passes everywhere in the pipeline.
+	if _, err := DeltaPlusOne(g, Config{Bandwidth: 16 * logn}); err != nil {
+		t.Fatalf("pipeline exceeded 16·log n bits: %v", err)
+	}
+	// A 2-bit budget must trip the assertion with a typed error.
+	_, err := DeltaPlusOne(g, Config{Bandwidth: 2})
+	if err == nil {
+		t.Fatal("expected bandwidth violation")
+	}
+	var bw *sim.ErrBandwidth
+	if !errors.As(err, &bw) {
+		t.Fatalf("error %v does not wrap sim.ErrBandwidth", err)
+	}
+}
+
+func TestDefectiveListInstance(t *testing.T) {
+	// General list arbdefective instance through the same pipeline.
+	g := graph.RandomRegular(36, 6, 15)
+	in := coloring.UniformDefective(g, 128, 4, 1, 17) // Σ(d+1) = 8 > 6
+	res, err := DegreePlusOneList(g, in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phi == nil {
+		t.Fatal("no coloring returned")
+	}
+}

@@ -1,0 +1,47 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// TestSoakLargeGraph runs the full pipeline at a size well beyond the
+// other tests (n = 2000, Δ = 16). Skipped under -short.
+func TestSoakLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	g := graph.RandomRegular(2000, 16, 101)
+	res, err := DeltaPlusOne(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProper(g, res.Phi, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+	// Round budget sanity: far below the O(Δ²) and O(n) regimes.
+	if res.Stats.Rounds > 60*16 {
+		t.Fatalf("rounds=%d suspiciously high at Δ=16", res.Stats.Rounds)
+	}
+	t.Logf("n=2000 Δ=16: %d rounds, %d batches, max msg %d bits",
+		res.Stats.Rounds, res.Batches, res.Stats.MaxMessageBits)
+}
+
+// TestSoakPowerLaw exercises highly irregular degree distributions.
+func TestSoakPowerLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	g := graph.PreferentialAttachment(1200, 4, 7)
+	in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+2, 9)
+	res, err := DegreePlusOneList(g, in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProperList(in, res.Phi); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("power-law n=1200 Δ=%d: %d rounds", g.MaxDegree(), res.Stats.Rounds)
+}

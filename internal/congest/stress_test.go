@@ -1,0 +1,70 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// TestPipelineAcrossFamilies is the integration stress test: the full
+// Theorem 1.4 pipeline across topology families and seeds, every output
+// validated.
+func TestPipelineAcrossFamilies(t *testing.T) {
+	type tc struct {
+		name string
+		g    *graph.Graph
+	}
+	var cases []tc
+	for seed := int64(1); seed <= 3; seed++ {
+		cases = append(cases,
+			tc{fmt.Sprintf("regular6-%d", seed), graph.RandomRegular(48, 6, seed)},
+			tc{fmt.Sprintf("regular12-%d", seed), graph.RandomRegular(60, 12, seed)},
+			tc{fmt.Sprintf("gnp-%d", seed), graph.GNP(64, 0.12, seed)},
+			tc{fmt.Sprintf("tree-%d", seed), graph.RandomTree(64, seed)},
+			tc{fmt.Sprintf("pa-%d", seed), graph.PreferentialAttachment(64, 3, seed)},
+		)
+	}
+	cases = append(cases,
+		tc{"ring", graph.Ring(40)},
+		tc{"clique", graph.Clique(12)},
+		tc{"torus", graph.Torus(6, 6)},
+		tc{"hypercube", graph.Hypercube(5)},
+		tc{"bipartite", graph.CompleteBipartite(7, 9)},
+	)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := DeltaPlusOne(c.g, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := coloring.CheckProper(c.g, res.Phi, c.g.MaxDegree()+1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPipelineDeterminism: the deterministic pipeline must be bit-for-bit
+// reproducible across runs (the paper's algorithms are deterministic).
+func TestPipelineDeterminism(t *testing.T) {
+	g := graph.RandomRegular(48, 8, 77)
+	r1, err := DeltaPlusOne(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DeltaPlusOne(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Phi {
+		if r1.Phi[v] != r2.Phi[v] {
+			t.Fatalf("node %d: %d vs %d", v, r1.Phi[v], r2.Phi[v])
+		}
+	}
+	if r1.Stats.Rounds != r2.Stats.Rounds || r1.Stats.TotalBits != r2.Stats.TotalBits {
+		t.Fatal("statistics differ between identical runs")
+	}
+}

@@ -1,0 +1,109 @@
+package cover
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialBig(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {10, 3, 120}, {0, 0, 1},
+		{6, 7, 0}, {52, 5, 2598960},
+	} {
+		got := BinomialBig(big.NewInt(int64(tc.n)), big.NewInt(int64(tc.k)))
+		if got.Int64() != tc.want {
+			t.Fatalf("C(%d,%d)=%s want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+	if BinomialBig(big.NewInt(-1), big.NewInt(1)).Sign() != 0 {
+		t.Fatal("negative n should give 0")
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	// C(n,k) = C(n−1,k−1) + C(n−1,k).
+	f := func(nRaw, kRaw uint8) bool {
+		n := int64(nRaw%40) + 2
+		k := int64(kRaw) % n
+		if k == 0 {
+			return true
+		}
+		lhs := BinomialBig(big.NewInt(n), big.NewInt(k))
+		rhs := new(big.Int).Add(
+			BinomialBig(big.NewInt(n-1), big.NewInt(k-1)),
+			BinomialBig(big.NewInt(n-1), big.NewInt(k)),
+		)
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClaimB4(t *testing.T) {
+	// Claim B.4: C(L−x, K−x) < (K/L)^x·C(L,K) for L > K > x > 0.
+	cases := [][3]int{{10, 5, 2}, {100, 30, 7}, {64, 32, 16}, {20, 19, 1}}
+	for _, c := range cases {
+		if !ClaimB4(c[0], c[1], c[2]) {
+			t.Fatalf("Claim B.4 failed for %v", c)
+		}
+	}
+	if ClaimB4(5, 6, 1) {
+		t.Fatal("invalid arguments must not certify")
+	}
+}
+
+func TestClaimB4Property(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		l := int(a%60) + 4
+		k := int(b)%(l-2) + 2
+		x := int(c)%(k-1) + 1
+		if !(l > k && k > x && x > 0) {
+			return true
+		}
+		return ClaimB4(l, k, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateLemmaB1(t *testing.T) {
+	// Small concrete parameters: γ=2, the paper's premise needs
+	// ℓ ≥ 2eγ²τ ≈ 22τ.
+	p := LemmaB1Params{Gamma: 2, SpaceSize: 1 << 16, M: 1 << 10}
+	tau := ceilInt(8*log2f(p.Gamma) + 2*loglog2(p.SpaceSize) + 2*loglog2(p.M) + 16)
+	p.ListLen = 22*tau + 1
+	n := EvaluateLemmaB1(p)
+	if n.Tau != tau {
+		t.Fatalf("tau=%d want %d", n.Tau, tau)
+	}
+	if n.TauPrime.Sign() <= 0 {
+		t.Fatal("τ′ must be positive")
+	}
+	if !n.HoldsByClaim {
+		t.Fatal("Lemma B.1 inequality chain must certify for compliant parameters")
+	}
+	if n.D1.Sign() <= 0 || n.SL.Sign() <= 0 {
+		t.Fatal("counting quantities must be positive")
+	}
+	// d₁ ≤ C(ℓ,k): a C conflicts with strictly fewer sets than exist.
+	if n.D1.Cmp(n.SL) > 0 {
+		t.Fatal("d₁ exceeds the number of candidate sets")
+	}
+}
+
+func TestEvaluateLemmaB1FailsWhenUnderProvisioned(t *testing.T) {
+	// A list far below 2eγ²τ must not certify (the τ′ exponent collapses
+	// against |C|^ℓ only thanks to the large-ℓ premise; with a tiny τ the
+	// geometric condition fails).
+	p := LemmaB1Params{Gamma: 64, SpaceSize: 1 << 16, M: 1 << 10, ListLen: 8}
+	n := EvaluateLemmaB1(p)
+	if n.HoldsByClaim && n.D1.Sign() > 0 && n.D1.Cmp(n.SL) > 0 {
+		t.Fatal("under-provisioned parameters must not certify via d₁ bound")
+	}
+}

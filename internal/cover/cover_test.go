@@ -1,0 +1,269 @@
+package cover
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuG(t *testing.T) {
+	c := []int{1, 4, 5, 9, 12}
+	for _, tc := range []struct{ x, g, want int }{
+		{5, 0, 1}, {6, 0, 0}, {5, 1, 2}, {5, 4, 4}, {0, 1, 1}, {100, 2, 0}, {9, 3, 2},
+	} {
+		if got := MuG(tc.x, c, tc.g); got != tc.want {
+			t.Fatalf("MuG(%d, C, %d) = %d want %d", tc.x, tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestConflictWeightSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := randSet(rng, 20, 100)
+		c2 := randSet(rng, 15, 100)
+		g := rng.Intn(4)
+		return ConflictWeight(c1, c2, g) == ConflictWeight(c2, c1, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTauGConflictMatchesWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := randSet(rng, 12, 60)
+		c2 := randSet(rng, 12, 60)
+		g := rng.Intn(3)
+		tau := 1 + rng.Intn(5)
+		return TauGConflict(c1, c2, tau, g) == (ConflictWeight(c1, c2, g) >= tau)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTauZeroGIsIntersection(t *testing.T) {
+	c1 := []int{1, 3, 5, 7}
+	c2 := []int{3, 4, 7, 9}
+	if w := ConflictWeight(c1, c2, 0); w != 2 {
+		t.Fatalf("weight=%d want |∩|=2", w)
+	}
+}
+
+func TestPsiCount(t *testing.T) {
+	k1 := [][]int{{1, 2, 3}, {10, 11, 12}, {20, 21, 22}}
+	k2 := [][]int{{2, 3, 4}, {30, 31, 32}}
+	// With τ=2, only {1,2,3} conflicts ({2,3} shared with {2,3,4}).
+	if got := PsiCount(k1, k2, 2, 0); got != 1 {
+		t.Fatalf("PsiCount=%d want 1", got)
+	}
+	if !Psi(k1, k2, 1, 2, 0) || Psi(k1, k2, 2, 2, 0) {
+		t.Fatal("Psi thresholding wrong")
+	}
+}
+
+func TestResidueClasses(t *testing.T) {
+	l := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	g := 1 // mod 3
+	r0 := ResidueClass(l, 0, g)
+	if !reflect.DeepEqual(r0, []int{0, 3, 6, 9}) {
+		t.Fatalf("r0=%v", r0)
+	}
+	a, best := BestResidue(l, g)
+	if len(best) < len(l)/3 {
+		t.Fatalf("pigeonhole violated: |best|=%d", len(best))
+	}
+	if a != 0 { // class 0 has 4 elements {0,3,6,9}, ties broken low
+		t.Fatalf("a=%d", a)
+	}
+	// Any two colors in one residue class are > 2g apart.
+	for i := 0; i < len(best); i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j]-best[i] <= 2*g {
+				t.Fatal("residue class contains close colors")
+			}
+		}
+	}
+}
+
+func TestBestResidueGZero(t *testing.T) {
+	l := []int{5, 6, 7}
+	a, r := BestResidue(l, 0)
+	if a != 0 || !reflect.DeepEqual(r, l) {
+		t.Fatal("g=0 must return the full list")
+	}
+}
+
+func TestTauTheoryFormula(t *testing.T) {
+	// ⌈8h + 2loglog|C| + 2loglog m + 16⌉ for h=1, |C|=16, m=16:
+	// loglog₂16 = 2, so 8 + 4 + 4 + 16 = 32.
+	if got := TauTheory(1, 16, 16); got != 32 {
+		t.Fatalf("TauTheory=%d want 32", got)
+	}
+	if TauTheory(2, 16, 16) != 40 {
+		t.Fatal("h scaling wrong")
+	}
+}
+
+func TestKappaFormulas(t *testing.T) {
+	// Sanity of the κ slack formulas: positive, monotone in β, with the
+	// concrete Lemma 3.8 decomposition dominating the Theorem 1.1
+	// statement (its constants are much heavier).
+	prev11, prev38 := 0.0, 0.0
+	for _, beta := range []int{8, 64, 1 << 10, 1 << 16, 1 << 24} {
+		space := beta * beta
+		m := beta * beta * 4
+		k11 := KappaTheorem11(beta, space, m)
+		k38 := KappaLemma38(beta, space, m)
+		if k11 <= 0 || k38 <= 0 {
+			t.Fatal("κ must be positive")
+		}
+		if k11 < prev11 || k38 < prev38 {
+			t.Fatalf("κ not monotone at β=%d", beta)
+		}
+		prev11, prev38 = k11, k38
+		if k38 < k11 {
+			t.Fatalf("β=%d: concrete slack κ38=%.0f below the stated κ11=%.0f", beta, k38, k11)
+		}
+	}
+}
+
+func TestKappaExplainsMissingEvaluation(t *testing.T) {
+	// Quantifies DESIGN.md substitution 2 / the E6 constants note: the
+	// concrete Lemma 3.8 slack exceeds β itself at every feasible scale —
+	// Theorem 1.4's √Δ·polylog only undercuts Θ(Δ) at astronomical Δ.
+	feasible := 1 << 16
+	if KappaLemma38(feasible, feasible*feasible, feasible*feasible) < float64(feasible) {
+		t.Fatalf("slack unexpectedly below β at β=%d", feasible)
+	}
+	huge := 1 << 24
+	if KappaLemma38(huge, huge, huge) > float64(huge) {
+		t.Fatalf("slack should finally drop below β at β=2^24")
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := Practical()
+	tau := p.Tau(4, 1<<12, 1<<10)
+	if tau < p.TauFloor {
+		t.Fatalf("tau=%d below floor", tau)
+	}
+	th := Theory()
+	if th.Tau(4, 1<<12, 1<<10) != TauTheory(4, 1<<12, 1<<10) {
+		t.Fatal("theory profile must not scale τ")
+	}
+	if k := p.KPrime(4, tau); k < 2 || k > p.KPrimeCap {
+		t.Fatalf("k'=%d outside [2,%d]", k, p.KPrimeCap)
+	}
+}
+
+func TestSetSizeDoubling(t *testing.T) {
+	p := Practical()
+	tau := 3
+	s1 := p.SetSize(1, tau, 1<<20)
+	s2 := p.SetSize(2, tau, 1<<20)
+	if s2 != 2*s1 {
+		t.Fatalf("set size must double per γ-class: %d vs %d", s1, s2)
+	}
+	if p.SetSize(3, tau, 10) != 10 {
+		t.Fatal("set size must clamp to list length")
+	}
+	if p.SetSize(0, tau, 0) != 1 {
+		t.Fatal("set size must stay positive")
+	}
+}
+
+func TestFamilyDeterministic(t *testing.T) {
+	ty := Type{InitColor: 5, List: []int{2, 4, 6, 8, 10, 12, 14}, SetSize: 3, NumSets: 4}
+	k1 := Family(ty)
+	k2 := Family(ty)
+	if !reflect.DeepEqual(k1, k2) {
+		t.Fatal("equal types must give equal families")
+	}
+	ty2 := ty
+	ty2.InitColor = 6
+	if reflect.DeepEqual(k1, Family(ty2)) {
+		t.Fatal("different init colors should give different families")
+	}
+}
+
+func TestFamilyShape(t *testing.T) {
+	list := make([]int, 40)
+	for i := range list {
+		list[i] = i * 3
+	}
+	k := Family(Type{InitColor: 1, List: list, SetSize: 7, NumSets: 9})
+	if len(k) != 9 {
+		t.Fatalf("family size %d", len(k))
+	}
+	for _, set := range k {
+		if len(set) != 7 {
+			t.Fatalf("set size %d", len(set))
+		}
+		if !sort.IntsAreSorted(set) {
+			t.Fatal("set not sorted")
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i] == set[i-1] {
+				t.Fatal("duplicate element in set")
+			}
+		}
+		for _, x := range set {
+			if x%3 != 0 || x < 0 || x >= 120 {
+				t.Fatalf("element %d not from list", x)
+			}
+		}
+	}
+}
+
+func TestFamilyClampsOversizedSets(t *testing.T) {
+	k := Family(Type{InitColor: 0, List: []int{1, 2, 3}, SetSize: 10, NumSets: 2})
+	for _, set := range k {
+		if len(set) != 3 {
+			t.Fatalf("set size %d, want clamped 3", len(set))
+		}
+	}
+}
+
+func TestFamilyLowConflict(t *testing.T) {
+	// Distinct types over a large space should produce families with no
+	// Ψ-conflicts at τ=2 — the statistical analogue of Lemma 3.1.
+	space := 1 << 14
+	rng := rand.New(rand.NewSource(42))
+	mkType := func(c int) Type {
+		return Type{InitColor: c, List: randSet(rng, 200, space), SetSize: 8, NumSets: 16}
+	}
+	fams := make([][][]int, 12)
+	for i := range fams {
+		fams[i] = Family(mkType(i))
+	}
+	tau := 2
+	for i := range fams {
+		for j := range fams {
+			if i == j {
+				continue
+			}
+			if cnt := PsiCount(fams[i], fams[j], tau, 0); cnt > 2 {
+				t.Fatalf("families %d,%d have %d conflicting sets", i, j, cnt)
+			}
+		}
+	}
+}
+
+func randSet(rng *rand.Rand, size, space int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < size {
+		x := rng.Intn(space)
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCombinations(t *testing.T) {
+	c := Combinations([]int{1, 2, 3, 4}, 2)
+	if len(c) != 6 {
+		t.Fatalf("C(4,2)=%d", len(c))
+	}
+	if c[0][0] != 1 || c[0][1] != 2 || c[5][0] != 3 || c[5][1] != 4 {
+		t.Fatalf("lexicographic order wrong: %v", c)
+	}
+	if Combinations([]int{1, 2}, 3) != nil {
+		t.Fatal("k > n must give nil")
+	}
+	if got := Combinations([]int{7, 8, 9}, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatal("k=0 must give the empty set")
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	// |Combinations(n,k)| = C(n,k).
+	items := []int{0, 1, 2, 3, 4, 5, 6}
+	want := []int{1, 7, 21, 35, 35, 21, 7, 1}
+	for k := 0; k <= 7; k++ {
+		if got := len(Combinations(items, k)); got != want[k] {
+			t.Fatalf("C(7,%d)=%d want %d", k, got, want[k])
+		}
+	}
+}
+
+// The literal Lemma 3.5 greedy at toy scale: families over a large color
+// space with small sets must come out pairwise Ψ-conflict-free.
+func TestGreedyFamiliesConflictFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var lists [][]int
+	for i := 0; i < 8; i++ {
+		lists = append(lists, randSet(rng, 6, 1024))
+	}
+	p := GreedyParams{SetSize: 2, FamSize: 2, Tau: 2, TauPrime: 1, Gap: 0}
+	fams, err := GreedyFamilies(lists, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != len(lists) {
+		t.Fatalf("got %d families", len(fams))
+	}
+	for i := range fams {
+		for j := range fams {
+			if i == j {
+				continue
+			}
+			if Psi(fams[i], fams[j], p.TauPrime, p.Tau, p.Gap) {
+				t.Fatalf("families %d and %d conflict", i, j)
+			}
+		}
+	}
+}
+
+// With τ′=1 and heavily overlapping lists the greedy must run out — the
+// Lemma 3.1 premise (large ℓ) is genuinely needed.
+func TestGreedyFamiliesExhaustion(t *testing.T) {
+	shared := []int{1, 2, 3}
+	lists := [][]int{shared, shared, shared, shared}
+	p := GreedyParams{SetSize: 2, FamSize: 2, Tau: 1, TauPrime: 1, Gap: 0}
+	if _, err := GreedyFamilies(lists, p); err == nil {
+		t.Fatal("expected exhaustion on identical tiny lists")
+	}
+}
+
+// The type-seeded sampler substitutes for the exact construction: at the
+// same toy parameters, sampled families of distinct types are also
+// pairwise conflict-free (the statistical analogue the algorithms rely
+// on).
+func TestSamplerMatchesGreedyGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var lists [][]int
+	for i := 0; i < 8; i++ {
+		lists = append(lists, randSet(rng, 6, 1024))
+	}
+	var sampled [][][]int
+	for i, l := range lists {
+		sampled = append(sampled, Family(Type{InitColor: i, List: l, SetSize: 2, NumSets: 2}))
+	}
+	for i := range sampled {
+		for j := range sampled {
+			if i != j && Psi(sampled[i], sampled[j], 1, 2, 0) {
+				t.Fatalf("sampled families %d and %d conflict at τ=2", i, j)
+			}
+		}
+	}
+}
+
+func TestGreedyFamiliesTooFewSets(t *testing.T) {
+	lists := [][]int{{1, 2}}
+	p := GreedyParams{SetSize: 2, FamSize: 3, Tau: 1, TauPrime: 1}
+	if _, err := GreedyFamilies(lists, p); err == nil {
+		t.Fatal("expected error when C(ℓ,k) < k′")
+	}
+}

@@ -1,0 +1,66 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(size, space int, seed int64) ([]int, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	return randSet(rng, size, space), randSet(rng, size, space)
+}
+
+func BenchmarkMuG(b *testing.B) {
+	c, _ := benchSets(64, 1<<14, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MuG(i%(1<<14), c, 2)
+	}
+}
+
+func BenchmarkConflictWeightG0(b *testing.B) {
+	c1, c2 := benchSets(64, 1<<14, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConflictWeight(c1, c2, 0)
+	}
+}
+
+func BenchmarkConflictWeightG2(b *testing.B) {
+	c1, c2 := benchSets(64, 1<<14, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConflictWeight(c1, c2, 2)
+	}
+}
+
+func BenchmarkTauGConflict(b *testing.B) {
+	c1, c2 := benchSets(64, 1<<14, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TauGConflict(c1, c2, 2, 0)
+	}
+}
+
+func BenchmarkFamily(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	list := randSet(rng, 256, 1<<14)
+	ty := Type{InitColor: 7, List: list, SetSize: 32, NumSets: 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ty.InitColor = i
+		Family(ty)
+	}
+}
+
+func BenchmarkPsiCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	list1 := randSet(rng, 256, 1<<14)
+	list2 := randSet(rng, 256, 1<<14)
+	k1 := Family(Type{InitColor: 1, List: list1, SetSize: 32, NumSets: 16})
+	k2 := Family(Type{InitColor: 2, List: list2, SetSize: 32, NumSets: 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PsiCount(k1, k2, 2, 0)
+	}
+}

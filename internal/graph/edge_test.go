@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestHypercubeZero(t *testing.T) {
+	g := Hypercube(0)
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("Q0: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestCompleteKarySingleLevel(t *testing.T) {
+	g := CompleteKary(3, 1)
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("single level: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g, pts := RandomGeometric(50, 0.2, 3)
+	if g.N() != 50 || len(pts) != 50 {
+		t.Fatal("size wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge ⇔ distance ≤ radius.
+	g.ForEachEdge(func(u, v int) {
+		dx := pts[u][0] - pts[v][0]
+		dy := pts[u][1] - pts[v][1]
+		if dx*dx+dy*dy > 0.2*0.2+1e-12 {
+			t.Fatalf("edge {%d,%d} too long", u, v)
+		}
+	})
+	// Radius 2 connects everything in the unit square.
+	full, _ := RandomGeometric(10, 2, 4)
+	if full.M() != 45 {
+		t.Fatalf("radius 2 should give K10, m=%d", full.M())
+	}
+}
+
+func TestOrientDegeneracyCliquePlusTail(t *testing.T) {
+	// K5 with a pendant path: degeneracy is 4 (from the clique).
+	b := NewBuilder(8)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	b.AddEdge(4, 5).AddEdge(5, 6).AddEdge(6, 7)
+	g := b.Build()
+	o := OrientDegeneracy(g)
+	if got := o.MaxOutDegree(); got != 4 {
+		t.Fatalf("β=%d want degeneracy 4", got)
+	}
+}
+
+func TestDisjointEmpty(t *testing.T) {
+	g := Disjoint()
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty disjoint union wrong")
+	}
+}
+
+func TestForEachEdgeOrder(t *testing.T) {
+	g := Ring(4)
+	var edges [][2]int
+	g.ForEachEdge(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	if len(edges) != 4 {
+		t.Fatalf("%v", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not u<v", e)
+		}
+	}
+}

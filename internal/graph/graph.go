@@ -1,0 +1,197 @@
+// Package graph provides the graph substrate for the distributed coloring
+// algorithms: a compact adjacency representation for undirected graphs,
+// edge orientations, and a collection of deterministic generators used by
+// the tests, benchmarks, and experiments.
+//
+// All vertex identifiers are dense ints in [0, N). Neighbor lists are kept
+// sorted so that algorithms and validators are deterministic.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]int32
+	m   int
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and self
+// loops are rejected at Build time.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}.
+func (b *Builder) AddEdge(u, v int) *Builder {
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at %d", u))
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+	return b
+}
+
+// Build finalizes the graph. It deduplicates edges and sorts adjacency
+// lists.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	g := &Graph{n: b.n, adj: make([][]int32, b.n)}
+	var last [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e == last {
+			continue
+		}
+		last = e
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+		g.m++
+	}
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ(G); 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// ForEachEdge calls f once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(f func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				f(u, int(w))
+			}
+		}
+	}
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// along with the mapping from new vertex ids to original ids.
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vs))
+	orig := make([]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(vs))
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && j > i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// LineGraph returns the line graph L(G): one vertex per edge of g, two
+// vertices adjacent iff the edges share an endpoint. It also returns the
+// edge represented by each line-graph vertex. Coloring L(G) properly is
+// edge coloring g — the application domain (line graphs have bounded
+// neighborhood independence) that the paper's color space reduction
+// discussion targets.
+func (g *Graph) LineGraph() (*Graph, [][2]int) {
+	edges := make([][2]int, 0, g.m)
+	idx := make(map[[2]int32]int, g.m)
+	g.ForEachEdge(func(u, v int) {
+		idx[[2]int32{int32(u), int32(v)}] = len(edges)
+		edges = append(edges, [2]int{u, v})
+	})
+	b := NewBuilder(len(edges))
+	for v := 0; v < g.n; v++ {
+		adj := g.adj[v]
+		// All edges incident to v are pairwise adjacent in L(G).
+		ids := make([]int, 0, len(adj))
+		for _, w := range adj {
+			key := [2]int32{int32(v), w}
+			if int(w) < v {
+				key = [2]int32{w, int32(v)}
+			}
+			ids = append(ids, idx[key])
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				b.AddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	return b.Build(), edges
+}
+
+// Validate checks internal invariants; used by tests.
+func (g *Graph) Validate() error {
+	cnt := 0
+	for v := 0; v < g.n; v++ {
+		prev := int32(-1)
+		for _, w := range g.adj[v] {
+			if w == int32(v) {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if w <= prev {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			prev = w
+			if !g.HasEdge(int(w), v) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, w)
+			}
+			cnt++
+		}
+	}
+	if cnt != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: m=%d half-edges=%d", g.m, cnt)
+	}
+	return nil
+}

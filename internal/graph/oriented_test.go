@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientByID(t *testing.T) {
+	g := Clique(5)
+	o := OrientByID(g)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Arcs point toward the smaller endpoint: vertex 0 receives
+	// everything, vertex 4 sends everything.
+	if o.RawOutDegree(4) != 4 {
+		t.Fatalf("outdeg(4)=%d", o.RawOutDegree(4))
+	}
+	if o.RawOutDegree(0) != 0 || o.OutDegree(0) != 1 {
+		t.Fatalf("outdeg(0)=%d β=%d", o.RawOutDegree(0), o.OutDegree(0))
+	}
+}
+
+func TestOrientSymmetric(t *testing.T) {
+	g := Ring(6)
+	o := OrientSymmetric(g)
+	for v := 0; v < 6; v++ {
+		if o.RawOutDegree(v) != 2 {
+			t.Fatalf("symmetric outdeg(%d)=%d", v, o.RawOutDegree(v))
+		}
+	}
+	if !o.HasArc(0, 1) || !o.HasArc(1, 0) {
+		t.Fatal("symmetric orientation must have both arcs")
+	}
+}
+
+func TestOrientDegeneracyTree(t *testing.T) {
+	g := RandomTree(100, 3)
+	o := OrientDegeneracy(g)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := o.MaxOutDegree(); b > 1 {
+		t.Fatalf("tree degeneracy orientation has β=%d, want 1", b)
+	}
+}
+
+func TestOrientDegeneracyPlanarish(t *testing.T) {
+	g := Grid(10, 10)
+	o := OrientDegeneracy(g)
+	if b := o.MaxOutDegree(); b > 2 {
+		t.Fatalf("grid degeneracy orientation has β=%d, want <= 2", b)
+	}
+}
+
+func TestEulerOrientationBound(t *testing.T) {
+	graphs := []*Graph{Ring(9), Clique(8), Clique(9), Grid(6, 7), GNP(60, 0.3, 11), RandomRegular(30, 5, 2)}
+	for gi, g := range graphs {
+		o := EulerOrientation(g)
+		if err := o.Validate(); err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			bound := (g.Degree(v) + 1) / 2
+			if o.RawOutDegree(v) > bound {
+				t.Fatalf("graph %d: outdeg(%d)=%d > ceil(deg/2)=%d", gi, v, o.RawOutDegree(v), bound)
+			}
+		}
+		// Every edge oriented exactly once.
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			total += o.RawOutDegree(v)
+		}
+		if total != g.M() {
+			t.Fatalf("graph %d: oriented %d arcs, want %d", gi, total, g.M())
+		}
+	}
+}
+
+func TestEulerOrientationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := GNP(25, 0.25, seed)
+		o := EulerOrientation(g)
+		if o.Validate() != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if o.RawOutDegree(v) > (g.Degree(v)+1)/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientedInOutConsistency(t *testing.T) {
+	g := GNP(40, 0.2, 5)
+	o := OrientByID(g)
+	inCount := 0
+	outCount := 0
+	for v := 0; v < g.N(); v++ {
+		inCount += len(o.In(v))
+		outCount += o.RawOutDegree(v)
+		for _, u := range o.Out(v) {
+			found := false
+			for _, w := range o.In(int(u)) {
+				if int(w) == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("arc %d->%d missing from in-list", v, u)
+			}
+		}
+	}
+	if inCount != outCount || outCount != g.M() {
+		t.Fatalf("in=%d out=%d m=%d", inCount, outCount, g.M())
+	}
+}

@@ -1,0 +1,111 @@
+package linial
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestFoldColorsDirect(t *testing.T) {
+	g := graph.RandomRegular(30, 4, 3)
+	eng := sim.NewEngine(g)
+	c1, m1, _, err := Proper(eng, graph.OrientSymmetric(g), IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, stats, err := FoldColors(eng, g, c1, m1, g.MaxDegree()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProper(g, folded, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+	// One round per eliminated color class.
+	if stats.Rounds != m1-(g.MaxDegree()+1) {
+		t.Fatalf("rounds=%d want %d", stats.Rounds, m1-(g.MaxDegree()+1))
+	}
+}
+
+func TestFoldColorsRejectsLowFloor(t *testing.T) {
+	g := graph.Clique(5)
+	eng := sim.NewEngine(g)
+	if _, _, err := FoldColors(eng, g, IDs(5), 5, 3); err == nil {
+		t.Fatal("floor below Δ+1 must be rejected")
+	}
+}
+
+func TestDefectiveZeroBudgetIsProper(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 9)
+	o := graph.OrientSymmetric(g)
+	e1 := sim.NewEngine(g)
+	c1, n1, _, err := Proper(e1, o, IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := sim.NewEngine(g)
+	c2, n2, _, err := Defective(e2, o, IDs(g.N()), g.N(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("d=0 defective (%d colors) must match proper (%d)", n2, n1)
+	}
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatal("d=0 defective must be identical to proper reduction")
+		}
+	}
+}
+
+func TestProperScheduleLowBeta(t *testing.T) {
+	// β = 1: the fixpoint is the square of the smallest prime > 2.
+	s := ProperSchedule(1000, 1)
+	if s.Final > 9 {
+		t.Fatalf("β=1 fixpoint %d > 9", s.Final)
+	}
+	// Already below target: no steps.
+	s2 := ProperSchedule(8, 1)
+	if len(s2.Steps) != 0 || s2.Final != 8 {
+		t.Fatalf("no-op schedule wrong: %+v", s2)
+	}
+}
+
+func TestDeltaPlusOneOnStars(t *testing.T) {
+	// Highly irregular: star graphs stress the fold floor.
+	g := graph.CompleteBipartite(1, 12)
+	eng := sim.NewEngine(g)
+	colors, _, err := DeltaPlusOne(eng, g, IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckProper(g, colors, 13); err != nil {
+		t.Fatal(err)
+	}
+	// A star is 2-chromatic; the fold keeps ≤ Δ+1 but distinct leaf colors
+	// may remain. At minimum the center differs from all leaves.
+	for v := 1; v <= 12; v++ {
+		if colors[v] == colors[0] {
+			t.Fatal("leaf shares the center color")
+		}
+	}
+}
+
+func TestArbdefectiveRespectsMaxClasses(t *testing.T) {
+	g := graph.RandomRegular(48, 10, 11)
+	for _, maxC := range []int{3, 5, 11} {
+		res, _, err := Arbdefective(sim.NewEngine(g), g, IDs(g.N()), g.N(), maxC)
+		if err != nil {
+			t.Fatalf("maxC=%d: %v", maxC, err)
+		}
+		if res.NumClasses > maxC {
+			t.Fatalf("classes=%d > max %d", res.NumClasses, maxC)
+		}
+		for _, c := range res.Classes {
+			if c < 0 || c >= res.NumClasses {
+				t.Fatalf("class %d outside [0,%d)", c, res.NumClasses)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package linial implements the classic color-reduction substrate the
+// paper builds on:
+//
+//   - Linial's one-round color reduction via polynomial (Reed–Solomon)
+//     cover-free families [Lin87], iterated to reach O(β²) colors in
+//     O(log* m) rounds;
+//   - Kuhn's defective variant [Kuh09], which trades defect for a smaller
+//     color space (d-defective colorings with O((β·D/(d+1))²) colors);
+//   - an SV93/BEG18-style "pair/singleton row shift" reduction that turns a
+//     proper O(Δ²)-coloring into a proper O(Δ)-coloring in O(Δ) rounds, and
+//     its arbdefective generalization (d-arbdefective O(Δ/d)-coloring in
+//     O(Δ/d + log* n) rounds), used as the bootstrap clustering for the
+//     paper's Theorem 1.3.
+package linial
+
+import "fmt"
+
+// SmallestPrimeAtLeast returns the smallest prime >= n (n >= 2).
+func SmallestPrimeAtLeast(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	for p := n; ; p++ {
+		if isPrime(p) {
+			return p
+		}
+	}
+}
+
+func isPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// polyEval evaluates the polynomial whose base-q digits are the
+// coefficients of c at point x over GF(q): f_c(x) = Σ digit_i(c) x^i mod q.
+// Distinct values c < q^(deg+1) give distinct polynomials of degree <= deg,
+// which agree on at most deg points — the cover-free property Linial's
+// reduction needs.
+func polyEval(c, x, q, deg int) int {
+	// Horner evaluation over the base-q digit expansion, highest digit
+	// first.
+	digits := make([]int, deg+1)
+	for i := 0; i <= deg; i++ {
+		digits[i] = c % q
+		c /= q
+	}
+	if c != 0 {
+		panic(fmt.Sprintf("linial: color does not fit in %d base-%d digits", deg+1, q))
+	}
+	acc := 0
+	for i := deg; i >= 0; i-- {
+		acc = (acc*x + digits[i]) % q
+	}
+	return acc
+}
+
+// stepParams holds the parameters of one polynomial reduction step.
+type stepParams struct {
+	q   int // field size (prime)
+	deg int // polynomial degree bound D
+}
+
+// chooseStep picks the cheapest polynomial step that maps an m-coloring to
+// a q²-coloring: the smallest degree D >= 1 such that the smallest prime
+// q > qFloor(D) satisfies q^(D+1) >= m.
+func chooseStep(m int, qFloor func(deg int) int) stepParams {
+	for deg := 1; ; deg++ {
+		q := SmallestPrimeAtLeast(qFloor(deg) + 1)
+		if powAtLeast(q, deg+1, m) {
+			return stepParams{q: q, deg: deg}
+		}
+	}
+}
+
+// powAtLeast reports q^e >= m. Values stay far below overflow because the
+// loop exits as soon as the accumulator reaches m.
+func powAtLeast(q, e, m int) bool {
+	acc := 1
+	for i := 0; i < e; i++ {
+		acc *= q
+		if acc >= m {
+			return true
+		}
+	}
+	return acc >= m
+}

@@ -1,0 +1,172 @@
+package linial
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Schedule is a precomputed sequence of polynomial reduction steps, shared
+// global knowledge of all nodes (it only depends on m, β and the defect
+// budget, not on the topology).
+type Schedule struct {
+	Steps   []stepParams
+	Budgets []int // per-step allowed added defect (0 = proper step)
+	Final   int   // number of colors after the last step
+}
+
+// ProperSchedule plans the iterated Linial reduction from m colors down to
+// the fixpoint p² where p is the smallest prime > 2β.
+func ProperSchedule(m, beta int) Schedule {
+	p2 := SmallestPrimeAtLeast(2*beta + 1)
+	target := p2 * p2
+	s := Schedule{Final: m}
+	guard := 0
+	for s.Final > target {
+		if guard++; guard > 64 {
+			panic("linial: schedule failed to converge")
+		}
+		sp := chooseStep(s.Final, func(deg int) int { return beta * deg })
+		s.Steps = append(s.Steps, sp)
+		s.Budgets = append(s.Budgets, 0)
+		s.Final = sp.q * sp.q
+	}
+	return s
+}
+
+// DefectiveSchedule plans a proper reduction to O(β²) colors followed by a
+// single defective step with budget d, reaching O((β·D/(d+1))²) colors
+// [Kuh09].
+func DefectiveSchedule(m, beta, d int) Schedule {
+	s := ProperSchedule(m, beta)
+	sp := chooseStep(s.Final, func(deg int) int { return beta * deg / (d + 1) })
+	if sp.q*sp.q < s.Final { // only add the step if it helps
+		s.Steps = append(s.Steps, sp)
+		s.Budgets = append(s.Budgets, d)
+		s.Final = sp.q * sp.q
+	}
+	return s
+}
+
+// Rounds returns the number of communication rounds the schedule needs.
+func (s Schedule) Rounds() int { return len(s.Steps) }
+
+// reduceAlg executes a Schedule: one broadcast round per step. Defects from
+// defective steps accumulate; the realized coloring after the last step is
+// (Σ budgets)-defective w.r.t. out-neighbors.
+type reduceAlg struct {
+	o        *graph.Oriented
+	sched    Schedule
+	colors   []int
+	next     []int
+	m        int // current color bound
+	step     int
+	started  bool
+	finished bool
+}
+
+func newReduceAlg(o *graph.Oriented, init []int, m int, sched Schedule) *reduceAlg {
+	colors := append([]int(nil), init...)
+	return &reduceAlg{o: o, sched: sched, colors: colors, next: make([]int, len(init)), m: m}
+}
+
+func (a *reduceAlg) Outbox(v int, out *sim.Outbox) {
+	out.Broadcast(sim.UintPayload{Value: uint64(a.colors[v]), Width: bitio.WidthFor(a.m)})
+}
+
+func (a *reduceAlg) Inbox(v int, in []sim.Received) {
+	sp := a.sched.Steps[a.step]
+	q, deg := sp.q, sp.deg
+	// Collect out-neighbor colors (messages arrive from all neighbors).
+	var outColors []int
+	for _, msg := range in {
+		if a.o.HasArc(v, msg.From) {
+			outColors = append(outColors, int(msg.Payload.(sim.UintPayload).Value))
+		}
+	}
+	c := a.colors[v]
+	// Count collisions per evaluation point. Equal colors share the whole
+	// polynomial and collide everywhere; they carry defect from previous
+	// defective steps and do not influence the argmin.
+	best, bestCnt := -1, int(^uint(0)>>1)
+	for x := 0; x < q; x++ {
+		fv := polyEval(c, x, q, deg)
+		cnt := 0
+		for _, cu := range outColors {
+			if cu != c && polyEval(cu, x, q, deg) == fv {
+				cnt++
+			}
+		}
+		if cnt < bestCnt {
+			best, bestCnt = x, cnt
+		}
+	}
+	a.next[v] = best*q + polyEval(c, best, q, deg)
+}
+
+func (a *reduceAlg) Done() bool {
+	if !a.started {
+		a.started = true
+		return false
+	}
+	// Commit the step computed in the previous round.
+	copy(a.colors, a.next)
+	sp := a.sched.Steps[a.step]
+	a.m = sp.q * sp.q
+	a.step++
+	if a.step >= len(a.sched.Steps) {
+		a.finished = true
+	}
+	return a.finished
+}
+
+// Proper computes a proper coloring with at most (smallest prime > 2β)²
+// colors, starting from the given proper m-coloring (e.g. unique ids), in
+// Schedule.Rounds() = O(log* m) communication rounds.
+func Proper(eng *sim.Engine, o *graph.Oriented, init []int, m int) ([]int, int, sim.Stats, error) {
+	sched := ProperSchedule(m, o.MaxOutDegree())
+	if len(sched.Steps) == 0 {
+		return append([]int(nil), init...), m, sim.Stats{}, nil
+	}
+	alg := newReduceAlg(o, init, m, sched)
+	stats, err := eng.Run(alg, sched.Rounds()+2)
+	if err != nil {
+		return nil, 0, stats, err
+	}
+	// Every edge carries an arc, and the arc holder avoids its target's
+	// color, so the output is proper on the whole graph.
+	if err := coloring.CheckProper(o.Graph(), alg.colors, sched.Final); err != nil {
+		return nil, 0, stats, fmt.Errorf("linial: output invalid: %w", err)
+	}
+	return alg.colors, sched.Final, stats, nil
+}
+
+// Defective computes a d-defective (w.r.t. out-neighbors) coloring with
+// O((β·D/(d+1))²) colors in O(log* m) rounds [Kuh09].
+func Defective(eng *sim.Engine, o *graph.Oriented, init []int, m, d int) ([]int, int, sim.Stats, error) {
+	sched := DefectiveSchedule(m, o.MaxOutDegree(), d)
+	if len(sched.Steps) == 0 {
+		return append([]int(nil), init...), m, sim.Stats{}, nil
+	}
+	alg := newReduceAlg(o, init, m, sched)
+	stats, err := eng.Run(alg, sched.Rounds()+2)
+	if err != nil {
+		return nil, 0, stats, err
+	}
+	if err := coloring.CheckOrientedDefective(o, alg.colors, sched.Final, d); err != nil {
+		return nil, 0, stats, fmt.Errorf("linial: defective output invalid: %w", err)
+	}
+	return alg.colors, sched.Final, stats, nil
+}
+
+// IDs returns the identity initial coloring (unique ids as colors).
+func IDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package linial
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestSmallestPrimeAtLeast(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17}, {100, 101}, {200, 211}} {
+		if got := SmallestPrimeAtLeast(tc.n); got != tc.p {
+			t.Fatalf("SmallestPrimeAtLeast(%d)=%d want %d", tc.n, got, tc.p)
+		}
+	}
+}
+
+func TestPolyEvalDistinctness(t *testing.T) {
+	// Distinct colors < q^(deg+1) must give polynomials agreeing on at most
+	// deg points.
+	q, deg := 7, 2
+	for c1 := 0; c1 < q*q*q; c1 += 13 {
+		for c2 := c1 + 1; c2 < q*q*q; c2 += 29 {
+			agree := 0
+			for x := 0; x < q; x++ {
+				if polyEval(c1, x, q, deg) == polyEval(c2, x, q, deg) {
+					agree++
+				}
+			}
+			if agree > deg {
+				t.Fatalf("colors %d,%d agree on %d > %d points", c1, c2, agree, deg)
+			}
+		}
+	}
+}
+
+func TestProperScheduleShape(t *testing.T) {
+	s := ProperSchedule(1<<20, 8)
+	if len(s.Steps) == 0 || len(s.Steps) > 6 {
+		t.Fatalf("schedule has %d steps (log* should be tiny)", len(s.Steps))
+	}
+	p2 := SmallestPrimeAtLeast(17)
+	if s.Final > p2*p2 {
+		t.Fatalf("final %d > %d", s.Final, p2*p2)
+	}
+	// log*-ish growth: going from 2^20 to 2^40 initial colors should add at
+	// most one step.
+	s2 := ProperSchedule(1<<40, 8)
+	if len(s2.Steps) > len(s.Steps)+1 {
+		t.Fatalf("steps grew from %d to %d for squared m", len(s.Steps), len(s2.Steps))
+	}
+}
+
+func TestProperLinialOnGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ring":    graph.Ring(64),
+		"clique":  graph.Clique(12),
+		"regular": graph.RandomRegular(60, 6, 1),
+		"gnp":     graph.GNP(80, 0.08, 2),
+		"tree":    graph.RandomTree(100, 3),
+	}
+	for name, g := range graphs {
+		o := graph.OrientSymmetric(g)
+		eng := sim.NewEngine(g)
+		colors, numColors, stats, err := Proper(eng, o, IDs(g.N()), g.N())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		beta := o.MaxOutDegree()
+		p2 := SmallestPrimeAtLeast(2*beta + 1)
+		if numColors > p2*p2 {
+			t.Fatalf("%s: %d colors > bound %d", name, numColors, p2*p2)
+		}
+		if err := coloring.CheckProper(g, colors, numColors); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.Rounds > 8 {
+			t.Fatalf("%s: %d rounds, want O(log* n)", name, stats.Rounds)
+		}
+	}
+}
+
+func TestProperLinialOrientedUsesOutdegree(t *testing.T) {
+	// A tree oriented by degeneracy has β = 1, so Linial should reach
+	// O(1) colors even though Δ is large.
+	g := graph.CompleteKary(8, 3) // star-ish: Δ = 9
+	o := graph.OrientDegeneracy(g)
+	if o.MaxOutDegree() != 1 {
+		t.Fatalf("β=%d", o.MaxOutDegree())
+	}
+	eng := sim.NewEngine(g)
+	colors, numColors, _, err := Proper(eng, o, IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numColors > 9 { // (smallest prime > 2)² = 9
+		t.Fatalf("tree got %d colors, want ≤ 9", numColors)
+	}
+	// Out-neighbor propriety: arc holders avoid their targets.
+	if err := coloring.CheckOrientedDefective(o, colors, numColors, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefectiveLinial(t *testing.T) {
+	g := graph.RandomRegular(64, 8, 4)
+	o := graph.OrientSymmetric(g)
+	for _, d := range []int{1, 2, 4} {
+		eng := sim.NewEngine(g)
+		colors, numColors, _, err := Defective(eng, o, IDs(g.N()), g.N(), d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := coloring.CheckDefective(g, colors, numColors, d); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		proper := ProperSchedule(g.N(), 8).Final
+		if numColors > proper {
+			t.Fatalf("d=%d: defective coloring uses %d > proper %d colors", d, numColors, proper)
+		}
+	}
+}
+
+func TestDefectiveFewerColorsThanProper(t *testing.T) {
+	// With a large defect budget the color count must drop well below the
+	// proper O(β²) fixpoint.
+	g := graph.RandomRegular(80, 16, 9)
+	o := graph.OrientSymmetric(g)
+	eng := sim.NewEngine(g)
+	properFinal := ProperSchedule(g.N(), 16).Final
+	_, numColors, _, err := Defective(eng, o, IDs(g.N()), g.N(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numColors >= properFinal {
+		t.Fatalf("defective %d colors not below proper %d", numColors, properFinal)
+	}
+}
+
+func TestReduceToP(t *testing.T) {
+	g := graph.RandomRegular(60, 6, 7)
+	o := graph.OrientSymmetric(g)
+	eng := sim.NewEngine(g)
+	c1, m1, _, err := Proper(eng, o, IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, p, stats, err := ReduceToP(eng, g, c1, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 4*g.MaxDegree()+20 {
+		t.Fatalf("p=%d not O(Δ)", p)
+	}
+	if err := coloring.CheckProper(g, c2, p); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 2*g.MaxDegree()+5 {
+		t.Fatalf("rounds=%d", stats.Rounds)
+	}
+}
+
+func TestDeltaPlusOne(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Ring(50),
+		graph.Clique(9),
+		graph.RandomRegular(40, 5, 2),
+		graph.GNP(70, 0.1, 6),
+	} {
+		eng := sim.NewEngine(g)
+		colors, stats, err := DeltaPlusOne(eng, g, IDs(g.N()), g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckProper(g, colors, g.MaxDegree()+1); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Rounds > 8*g.MaxDegree()+30 {
+			t.Fatalf("rounds=%d not O(Δ + log* n)", stats.Rounds)
+		}
+	}
+}
+
+func TestDeltaPlusOneMessageSize(t *testing.T) {
+	// All phases run in CONGEST: message sizes stay O(log n).
+	g := graph.RandomRegular(64, 6, 12)
+	eng := sim.NewEngine(g)
+	_, stats, err := DeltaPlusOne(eng, g, IDs(g.N()), g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMessageBits > 64 {
+		t.Fatalf("max message %d bits, want O(log n)", stats.MaxMessageBits)
+	}
+}
+
+func TestArbdefectiveBootstrap(t *testing.T) {
+	g := graph.RandomRegular(64, 12, 5)
+	eng := sim.NewEngine(g)
+	for _, q := range []int{5, 7, 13} {
+		res, stats, err := Arbdefective(eng, g, IDs(g.N()), g.N(), q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if res.NumClasses > q {
+			t.Fatalf("q=%d: got %d classes", q, res.NumClasses)
+		}
+		if err := coloring.CheckOrientedDefective(res.Orient, res.Classes, res.NumClasses, res.Arbdefect); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		// Arbdefect should scale like Δ/p (plus the defective-class term).
+		if res.Arbdefect > 8*g.MaxDegree()/res.NumClasses+g.MaxDegree()/2+2 {
+			t.Fatalf("q=%d: arbdefect %d too large", q, res.Arbdefect)
+		}
+		if stats.Rounds > 6*res.NumClasses+40 {
+			t.Fatalf("q=%d: rounds %d not O(p + log*)", q, stats.Rounds)
+		}
+	}
+}
+
+func TestArbdefectiveSingleClassEdgeCases(t *testing.T) {
+	// Empty graph: one class, no defect.
+	b := graph.NewBuilder(5)
+	g := b.Build()
+	eng := sim.NewEngine(g)
+	res, _, err := Arbdefective(eng, g, IDs(5), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClasses != 1 || res.Arbdefect != 0 {
+		t.Fatalf("empty graph: classes=%d d=%d", res.NumClasses, res.Arbdefect)
+	}
+}

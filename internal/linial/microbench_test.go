@@ -1,0 +1,62 @@
+package linial
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func BenchmarkProperLinial(b *testing.B) {
+	g := graph.RandomRegular(2048, 8, 1)
+	o := graph.OrientSymmetric(g)
+	ids := IDs(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Proper(sim.NewEngine(g), o, ids, g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowShiftReduce(b *testing.B) {
+	g := graph.RandomRegular(512, 8, 2)
+	o := graph.OrientSymmetric(g)
+	ids := IDs(g.N())
+	colors, m, _, err := Proper(sim.NewEngine(g), o, ids, g.N())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ReduceToP(sim.NewEngine(g), g, colors, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeltaPlusOne(b *testing.B) {
+	g := graph.RandomRegular(512, 8, 3)
+	ids := IDs(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DeltaPlusOne(sim.NewEngine(g), g, ids, g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArbdefectiveBootstrap(b *testing.B) {
+	g := graph.RandomRegular(256, 16, 4)
+	ids := IDs(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Arbdefective(sim.NewEngine(g), g, ids, g.N(), 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

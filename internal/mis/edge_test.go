@@ -1,0 +1,90 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestFromColoringRejectsImproperInput(t *testing.T) {
+	// Feeding a non-proper "coloring" must be caught by the final Check
+	// rather than silently producing a broken set.
+	g := graph.Path(3)
+	colors := []int{0, 0, 1} // 0-1 monochromatic
+	_, _, err := FromColoring(sim.NewEngine(g), g, colors, 2)
+	if err == nil {
+		t.Fatal("improper coloring must yield an error")
+	}
+}
+
+func TestFromColoringEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(4).Build() // isolated vertices
+	colors := []int{0, 0, 0, 0}
+	set, _, err := FromColoring(sim.NewEngine(g), g, colors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range set {
+		if !s {
+			t.Fatalf("isolated vertex %d must join", v)
+		}
+	}
+}
+
+func TestMISRoundsBoundedByColors(t *testing.T) {
+	g := graph.Torus(6, 6)
+	eng := sim.NewEngine(g)
+	// A torus is 4-regular; give an explicit proper coloring via a simple
+	// diagonal pattern won't be proper on 6x6 torus with 2 colors? Use the
+	// pipeline-free route: linial-based coloring from the baseline would
+	// pull imports; instead brute-force a proper coloring greedily.
+	colors := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		taken := map[int]bool{}
+		for _, u := range g.Neighbors(v) {
+			if u < int32(v) {
+				taken[colors[u]] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	numColors := 0
+	for _, c := range colors {
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	set, stats, err := FromColoring(eng, g, colors, numColors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, set); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > numColors+2 {
+		t.Fatalf("rounds=%d exceed color budget %d", stats.Rounds, numColors)
+	}
+}
+
+func TestLubyMISRing(t *testing.T) {
+	g := graph.Ring(101)
+	set, _, err := Luby(sim.NewEngine(g), g, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 0
+	for _, s := range set {
+		if s {
+			size++
+		}
+	}
+	// An MIS of C_101 has between ⌈101/3⌉ and ⌊101/2⌋ vertices.
+	if size < 34 || size > 50 {
+		t.Fatalf("ring MIS size %d outside [34,50]", size)
+	}
+}

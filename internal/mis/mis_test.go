@@ -1,0 +1,111 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestCheck(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	good := []bool{true, false, true, false}
+	if err := Check(g, good); err != nil {
+		t.Fatal(err)
+	}
+	adjacent := []bool{true, true, false, true}
+	if Check(g, adjacent) == nil {
+		t.Fatal("adjacent set members must fail")
+	}
+	notMaximal := []bool{true, false, false, false} // node 2 undominated
+	if Check(g, notMaximal) == nil {
+		t.Fatal("non-maximal set must fail")
+	}
+}
+
+func TestFromColoring(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Ring(20),
+		graph.Clique(7),
+		graph.GNP(60, 0.1, 3),
+		graph.RandomRegular(48, 6, 5),
+	} {
+		eng := sim.NewEngine(g)
+		colors, stats, err := baseline.LinearDeltaPlusOne(eng, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, misStats, err := FromColoring(eng, g, colors, g.MaxDegree()+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(g, set); err != nil {
+			t.Fatal(err)
+		}
+		if misStats.Rounds > g.MaxDegree()+3 {
+			t.Fatalf("MIS rounds %d exceed color count budget", misStats.Rounds)
+		}
+		_ = stats
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 9)
+	set, stats, err := Deterministic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, set); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestLubyMIS(t *testing.T) {
+	g := graph.GNP(100, 0.08, 11)
+	set, stats, err := Luby(sim.NewEngine(g), g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(g, set); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 60 {
+		t.Fatalf("Luby MIS took %d rounds", stats.Rounds)
+	}
+}
+
+func TestLubyMISProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.GNP(40, 0.15, seed)
+		set, _, err := Luby(sim.NewEngine(g), g, seed)
+		if err != nil {
+			return false
+		}
+		return Check(g, set) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueMISHasExactlyOne(t *testing.T) {
+	g := graph.Clique(9)
+	set, _, err := Deterministic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := 0
+	for _, s := range set {
+		if s {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Fatalf("clique MIS has %d members", cnt)
+	}
+}

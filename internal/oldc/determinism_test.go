@@ -1,0 +1,73 @@
+package oldc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestSolveMultiDeterministic(t *testing.T) {
+	g := graph.RandomRegular(40, 8, 81)
+	o := graph.OrientByID(g)
+	run := func() coloring.Assignment {
+		in, eng := prepareInput(t, o, 1<<12, 5.0, 2, 83)
+		phi, _, err := SolveMulti(eng, in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phi
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at node %d", v)
+		}
+	}
+}
+
+func TestSolveSymmetricOrientationIsUndirected(t *testing.T) {
+	// With the symmetric orientation, OLDC defects count all neighbors:
+	// the undirected equivalence remarked after Theorem 1.2.
+	g := graph.RandomRegular(36, 6, 85)
+	o := graph.OrientSymmetric(g)
+	in, eng := prepareInput(t, o, 1<<12, 5.0, 2, 87)
+	phi, _, err := Solve(eng, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uin := &coloring.Instance{G: g, SpaceSize: in.SpaceSize, Lists: in.Lists}
+	if err := coloring.CheckLDC(uin, phi); err != nil {
+		t.Fatalf("undirected defect bound violated: %v", err)
+	}
+}
+
+func TestSolveMultiPropertyAcrossSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.GNP(32, 0.2, seed)
+		o := graph.OrientByID(g)
+		eng := sim.NewEngine(g)
+		init, m := identityColoring(g)
+		inst := coloring.SquareSumOrientedRange(o, 1<<12, 5.0, 1, 3, seed)
+		in := Input{O: o, SpaceSize: 1 << 12, Lists: inst.Lists, InitColors: init, M: m}
+		phi, _, err := SolveMulti(eng, in, Options{})
+		if err != nil {
+			return false
+		}
+		return coloring.CheckOLDC(o, in.Lists, phi) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// identityColoring uses unique ids as the initial proper coloring.
+func identityColoring(g *graph.Graph) ([]int, int) {
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids, g.N()
+}

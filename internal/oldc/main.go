@@ -1,0 +1,584 @@
+package oldc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/coloring"
+	"repro/internal/cover"
+	"repro/internal/sim"
+)
+
+// Solve implements the paper's main technical result (Theorem 1.1 via
+// Lemma 3.8): an O(log β)-round deterministic OLDC algorithm for instances
+// satisfying the square-sum condition
+//
+//	Σ_{x∈L_v} (d_v(x)+1)² ≥ α·β_v²·κ(β,C,m).
+//
+// The algorithm has three stages:
+//
+//  1. γ-class selection: each node derives per-class masses λ_{v,μ}
+//     (cases I/II of the Lemma 3.8 proof) and the nodes solve an auxiliary
+//     *generalized* OLDC instance over the color space [h] with gap
+//     g = ⌊log h⌋ using Lemma 3.6 (SolveMulti), which assigns every node a
+//     γ-class i_v such that few out-neighbors pick a nearby class.
+//  2. Phase I (ascending classes): nodes remove "bad" colors that already
+//     appear in too many lower-class candidate sets, derive their P2
+//     candidate family from their type, and choose a candidate set C_v
+//     conflicting with few same-class out-neighbors.
+//  3. Phase II (descending classes): nodes pick the least-loaded color of
+//     C_v, counting exact colors of higher classes and candidate sets of
+//     non-ignored same-class out-neighbors.
+func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.Stats, error) {
+	if opts.Gap != 0 {
+		return nil, sim.Stats{}, fmt.Errorf("oldc: Solve only handles gap 0 (Lemma 3.6 handles general gaps)")
+	}
+	pr := resolveParams(opts)
+	o := in.O
+	n := o.N()
+	h := classCount(o)
+	hPrime := hPrimeFor(h)
+	tau := pr.Tau(h, in.SpaceSize, in.M)
+	tauBar := pr.Tau(hPrime, h, in.M)
+	kprime := pr.KPrime(h, tau)
+
+	var total sim.Stats
+
+	// --- Stage 1: local case analysis and γ-class selection ---
+	sel := make([]classSelection, n)
+	auxLists := make([]coloring.NodeList, n)
+	trivial := true
+	for v := 0; v < n; v++ {
+		s, err := analyzeNode(o.OutDegree(v), in.Lists[v], h, hPrime, tauBar, pr.Alpha)
+		if err != nil {
+			return nil, total, fmt.Errorf("oldc: node %d: %w", v, err)
+		}
+		sel[v] = s
+		auxLists[v] = s.auxList()
+		if auxLists[v].Len() != 1 {
+			trivial = false
+		}
+	}
+	classes := make([]int, n)
+	if trivial {
+		for v := 0; v < n; v++ {
+			classes[v] = auxLists[v].Colors[0] + 1
+		}
+	} else {
+		gAux := 0
+		for (1 << uint(gAux+1)) <= h {
+			gAux++
+		}
+		auxIn := Input{O: o, SpaceSize: h, Lists: auxLists, InitColors: in.InitColors, M: in.M}
+		auxPhi, auxStats, err := SolveMulti(eng, auxIn, Options{Params: pr, Gap: gAux, SkipValidate: true})
+		total = total.Add(auxStats)
+		if err != nil {
+			return nil, total, fmt.Errorf("oldc: γ-class selection failed: %w", err)
+		}
+		for v := 0; v < n; v++ {
+			classes[v] = auxPhi[v] + 1
+		}
+	}
+
+	// --- Stages 2 and 3: the two-phase algorithm of Lemma 3.7 ---
+	spec := basicSpec{
+		o:          o,
+		spaceSize:  in.SpaceSize,
+		m:          in.M,
+		initColors: in.InitColors,
+		lists:      make([][]int, n),
+		defect:     make([]int, n),
+		gclass:     classes,
+		h:          h,
+		gap:        0,
+		tau:        tau,
+		kprime:     kprime,
+		pr:         pr,
+	}
+	for v := 0; v < n; v++ {
+		list, d := sel[v].listForClass(classes[v])
+		if len(list) == 0 {
+			return nil, total, fmt.Errorf("oldc: node %d has no colors for chosen class %d", v, classes[v])
+		}
+		spec.lists[v] = list
+		spec.defect[v] = d
+	}
+	alg := newTwoPhase(spec)
+	stats, err := eng.Run(alg, 3*h+4)
+	total = total.Add(stats)
+	if err != nil {
+		return nil, total, err
+	}
+	phi := coloring.Assignment(alg.phi)
+	for v, c := range phi {
+		if c < 0 {
+			return nil, total, fmt.Errorf("oldc: node %d left uncolored", v)
+		}
+	}
+	if !opts.SkipValidate {
+		if err := coloring.CheckOLDC(o, in.Lists, phi); err != nil {
+			return nil, total, fmt.Errorf("oldc: Solve output invalid: %w", err)
+		}
+	}
+	return phi, total, nil
+}
+
+// hPrimeFor returns h′ = 4^⌈log₄ log₂(8h)⌉ from Lemma 3.8.
+func hPrimeFor(h int) int {
+	l := math.Log2(8 * float64(h))
+	e := math.Ceil(math.Log2(l) / 2)
+	if e < 1 {
+		e = 1
+	}
+	return int(math.Pow(4, e))
+}
+
+// classSelection is the per-node outcome of the Lemma 3.8 case analysis.
+type classSelection struct {
+	// classes[i] (1-based γ-class) → candidate with its defect δ and the
+	// defect-class list to use when class i is chosen.
+	candidates map[int]classCandidate
+}
+
+type classCandidate struct {
+	delta  int   // δ_{v,i}: tolerated out-neighbors in nearby classes
+	colors []int // L_{v,μ_v(i)}
+	defect int   // d_v for those colors
+}
+
+func (s classSelection) auxList() coloring.NodeList {
+	var colors, defs []int
+	for i := range s.candidates {
+		colors = append(colors, i-1) // 0-based for the aux color space
+	}
+	sortInts(colors)
+	for _, c := range colors {
+		defs = append(defs, s.candidates[c+1].delta)
+	}
+	return coloring.NodeList{Colors: colors, Defect: defs}
+}
+
+func (s classSelection) listForClass(i int) ([]int, int) {
+	c, ok := s.candidates[i]
+	if !ok {
+		// The aux solver may assign a class outside the candidate set if
+		// validation is skipped; fall back to the nearest candidate.
+		bestDist := math.MaxInt32
+		for j, cand := range s.candidates {
+			if d := absInt(j - i); d < bestDist {
+				bestDist = d
+				c = cand
+			}
+		}
+	}
+	return c.colors, c.defect
+}
+
+// analyzeNode performs the local computation of Lemma 3.8: it partitions
+// the list by the scale μ with (d+1)² ≈ R_v/4^μ, computes the mass ratios
+// λ_{v,μ}, and produces the class candidates of Case I / Case II.
+func analyzeNode(beta int, l coloring.NodeList, h, hPrime, tauBar, alpha int) (classSelection, error) {
+	if l.Len() == 0 {
+		return classSelection{}, fmt.Errorf("empty color list")
+	}
+	betaHat := nextPow2(beta)
+	rv := float64(alpha) * float64(betaHat) * float64(betaHat) * float64(tauBar) * float64(hPrime) * float64(hPrime)
+	// Partition the list into L_{v,μ}.
+	type part struct {
+		colors []int
+		minDef int
+		mass   float64
+	}
+	parts := map[int]*part{}
+	var totalMass float64
+	for idx, x := range l.Colors {
+		d := l.Defect[idx]
+		w := float64((d + 1) * (d + 1))
+		mu := int(math.Round(math.Log(rv/w) / math.Log(4)))
+		if mu < 1 {
+			mu = 1
+		}
+		if mu > h {
+			mu = h
+		}
+		p, ok := parts[mu]
+		if !ok {
+			p = &part{minDef: d}
+			parts[mu] = p
+		}
+		p.colors = append(p.colors, x)
+		if d < p.minDef {
+			p.minDef = d
+		}
+		p.mass += w
+		totalMass += w
+	}
+	sel := classSelection{candidates: map[int]classCandidate{}}
+	// Case II: some λ ≥ 1/4 (scan in ascending μ order for determinism).
+	for mu := 1; mu <= h; mu++ {
+		p, ok := parts[mu]
+		if !ok {
+			continue
+		}
+		lam := lambdaOf(p.mass, totalMass, h)
+		if lam >= 0.25 {
+			delta := int(math.Sqrt(rv) / 4)
+			i := clamp(mu, 1, h)
+			sel.candidates = map[int]classCandidate{
+				i: {delta: delta, colors: p.colors, defect: p.minDef},
+			}
+			return sel, nil
+		}
+	}
+	// Case I: map each surviving μ through f_v(μ) = μ − r + 2, keeping the
+	// first (smallest μ) winner per class.
+	for mu := 1; mu <= h; mu++ {
+		p, ok := parts[mu]
+		if !ok {
+			continue
+		}
+		lam := lambdaOf(p.mass, totalMass, h)
+		if lam == 0 {
+			continue
+		}
+		r := int(math.Round(-math.Log(lam) / math.Log(4)))
+		f := mu - r + 2
+		if f < 1 || f > h {
+			continue
+		}
+		if _, taken := sel.candidates[f]; taken {
+			continue // a smaller μ already claimed this class
+		}
+		delta := int(math.Floor(math.Sqrt(lam * rv)))
+		sel.candidates[f] = classCandidate{delta: delta, colors: p.colors, defect: p.minDef}
+	}
+	if len(sel.candidates) == 0 {
+		// Degenerate (tiny instances under scaled parameters): fall back to
+		// the heaviest part at its own scale.
+		bestMu, bestMass := 0, -1.0
+		for mu, p := range parts {
+			if p.mass > bestMass {
+				bestMu, bestMass = mu, p.mass
+			}
+		}
+		p := parts[bestMu]
+		sel.candidates[clamp(bestMu, 1, h)] = classCandidate{
+			delta:  int(math.Floor(math.Sqrt(p.mass))),
+			colors: p.colors,
+			defect: p.minDef,
+		}
+	}
+	return sel, nil
+}
+
+func lambdaOf(mass, total float64, h int) float64 {
+	ratio := mass / total
+	if ratio < 1/(2*float64(h)) {
+		return 0
+	}
+	// 4^⌊log₄ ratio⌋
+	return math.Pow(4, math.Floor(math.Log(ratio)/math.Log(4)))
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// --- The two-phase algorithm of Lemma 3.7 ---
+
+// twoPhaseAlg runs 3h rounds:
+//
+//	rounds 2i−1, 2i (i = 1..h):       Phase I iteration of class i
+//	round 2h + 1 + (h−i):             Phase II pick of class i
+//
+// Nodes of class i remove colors occurring in more than d_v/4 lower-class
+// candidate sets before deriving their own candidate family.
+type twoPhaseAlg struct {
+	spec    basicSpec
+	curList [][]int // list after bad-color removal (set at the class round)
+	ownK    [][][]int
+	cv      [][]int
+
+	nbrType  []map[int]typeInfo
+	nbrCv    []map[int][]int // out-neighbor → C_u (classes ≤ own)
+	nbrColor []map[int]int   // out-neighbor → final color (higher classes)
+
+	lowerCuCount []map[int]int // color → #lower-class C_u containing it
+
+	phi      []int
+	pickedAt []int
+	round    int
+	started  bool
+	finished bool
+}
+
+func newTwoPhase(spec basicSpec) *twoPhaseAlg {
+	n := spec.o.N()
+	a := &twoPhaseAlg{
+		spec:         spec,
+		curList:      make([][]int, n),
+		ownK:         make([][][]int, n),
+		cv:           make([][]int, n),
+		nbrType:      make([]map[int]typeInfo, n),
+		nbrCv:        make([]map[int][]int, n),
+		nbrColor:     make([]map[int]int, n),
+		lowerCuCount: make([]map[int]int, n),
+		phi:          make([]int, n),
+		pickedAt:     make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		a.nbrType[v] = map[int]typeInfo{}
+		a.nbrCv[v] = map[int][]int{}
+		a.nbrColor[v] = map[int]int{}
+		a.lowerCuCount[v] = map[int]int{}
+		a.phi[v] = -1
+		a.pickedAt[v] = -1
+	}
+	return a
+}
+
+func (a *twoPhaseAlg) familyOf(t typeInfo) [][]int {
+	setSize := a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list))
+	return cover.Family(cover.Type{
+		InitColor: t.initColor,
+		List:      t.list,
+		SetSize:   setSize,
+		NumSets:   a.spec.kprime,
+	})
+}
+
+func (a *twoPhaseAlg) Outbox(v int, out *sim.Outbox) {
+	h := a.spec.h
+	r := a.round
+	switch {
+	case r <= 2*h:
+		class := (r + 1) / 2
+		if a.spec.gclass[v] != class {
+			return
+		}
+		if r%2 == 1 {
+			// Round A: remove bad colors and announce the type.
+			a.curList[v] = a.removeBadColors(v)
+			out.Broadcast(typeMsg{
+				initColor:  a.spec.initColors[v],
+				gclass:     a.spec.gclass[v],
+				defect:     a.spec.defect[v],
+				list:       a.curList[v],
+				mWidth:     bitio.WidthFor(a.spec.m),
+				hWidth:     bitio.WidthFor(a.spec.h + 1),
+				spaceSize:  a.spec.spaceSize,
+				colorWidth: bitio.WidthFor(a.spec.spaceSize),
+			})
+		} else {
+			// Round B: announce the chosen candidate set.
+			idx := 0
+			for i, c := range a.ownK[v] {
+				if sameSlice(c, a.cv[v]) {
+					idx = i
+					break
+				}
+			}
+			out.Broadcast(chosenSetMsg{index: idx, width: bitio.WidthFor(a.spec.kprime)})
+		}
+	default:
+		if a.pickedAt[v] == r-1 {
+			out.Broadcast(colorMsg{color: a.phi[v], width: bitio.WidthFor(a.spec.spaceSize)})
+		}
+	}
+}
+
+// removeBadColors drops every color that appears in more than d_v/4
+// lower-class candidate sets.
+func (a *twoPhaseAlg) removeBadColors(v int) []int {
+	limit := a.spec.defect[v] / 4
+	var out []int
+	for _, x := range a.spec.lists[v] {
+		if a.lowerCuCount[v][x] <= limit {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		// All colors bad (under-provisioned instance): keep the least bad.
+		bestX, bestC := a.spec.lists[v][0], math.MaxInt32
+		for _, x := range a.spec.lists[v] {
+			if c := a.lowerCuCount[v][x]; c < bestC {
+				bestX, bestC = x, c
+			}
+		}
+		out = []int{bestX}
+	}
+	return out
+}
+
+func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
+	h := a.spec.h
+	r := a.round
+	switch {
+	case r <= 2*h:
+		class := (r + 1) / 2
+		if r%2 == 1 {
+			// Round A of class `class`: store sender types.
+			for _, msg := range in {
+				if !a.spec.o.HasArc(v, msg.From) {
+					continue
+				}
+				m, ok := msg.Payload.(typeMsg)
+				if !ok {
+					continue
+				}
+				a.nbrType[v][msg.From] = typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+			}
+			if a.spec.gclass[v] == class {
+				// This node's own family and P1 choice against same-class
+				// out-neighbors.
+				a.ownK[v] = a.familyOf(typeInfo{
+					initColor: a.spec.initColors[v],
+					gclass:    class,
+					defect:    a.spec.defect[v],
+					list:      a.curList[v],
+				})
+				a.chooseCv(v, class)
+			}
+		} else {
+			// Round B: reconstruct announced candidate sets.
+			for _, msg := range in {
+				if !a.spec.o.HasArc(v, msg.From) {
+					continue
+				}
+				m, ok := msg.Payload.(chosenSetMsg)
+				if !ok {
+					continue
+				}
+				t, have := a.nbrType[v][msg.From]
+				if !have {
+					continue
+				}
+				ku := a.familyOf(t)
+				if m.index < len(ku) {
+					cu := ku[m.index]
+					a.nbrCv[v][msg.From] = cu
+					if t.gclass < a.spec.gclass[v] {
+						for _, x := range cu {
+							a.lowerCuCount[v][x]++
+						}
+					}
+				}
+			}
+			if class == h && a.spec.gclass[v] == h {
+				a.pickColor(v)
+			}
+		}
+	default:
+		for _, msg := range in {
+			if m, ok := msg.Payload.(colorMsg); ok && a.spec.o.HasArc(v, msg.From) {
+				a.nbrColor[v][msg.From] = m.color
+			}
+		}
+		cur := h - (r - (2*h + 1))
+		if cur >= 1 && cur < h && a.spec.gclass[v] == cur {
+			a.pickColor(v)
+		}
+	}
+}
+
+// chooseCv picks C_v ∈ K_v minimizing the number of same-class
+// out-neighbors with a τ-conflicting candidate family (Phase I).
+func (a *twoPhaseAlg) chooseCv(v, class int) {
+	var fams [][][]int
+	for _, t := range a.nbrType[v] {
+		if t.gclass == class {
+			fams = append(fams, a.familyOf(t))
+		}
+	}
+	bestD := math.MaxInt32
+	for _, c := range a.ownK[v] {
+		d := 0
+		for _, fam := range fams {
+			for _, cu := range fam {
+				if cover.TauGConflict(c, cu, a.spec.tau, 0) {
+					d++
+					break
+				}
+			}
+		}
+		if d < bestD {
+			bestD = d
+			a.cv[v] = c
+		}
+	}
+	if a.cv[v] == nil {
+		a.cv[v] = a.curList[v]
+	}
+}
+
+// pickColor finalizes v's color (Phase II): counts exact colors of higher
+// classes and candidate-set occurrences of non-ignored same-class
+// out-neighbors.
+func (a *twoPhaseAlg) pickColor(v int) {
+	class := a.spec.gclass[v]
+	bestX, bestF := -1, math.MaxInt32
+	for _, x := range a.cv[v] {
+		f := 0
+		for u, cu := range a.nbrCv[v] {
+			if a.nbrType[v][u].gclass == class && !a.ignored(v, cu) {
+				f += cover.MuG(x, cu, 0)
+			}
+		}
+		for _, xu := range a.nbrColor[v] {
+			if xu == x {
+				f++
+			}
+		}
+		if f < bestF {
+			bestF = f
+			bestX = x
+		}
+	}
+	if bestX == -1 {
+		bestX = a.spec.lists[v][0]
+	}
+	a.phi[v] = bestX
+	a.pickedAt[v] = a.round
+}
+
+// ignored reports whether a same-class out-neighbor's candidate set
+// conflicts too heavily with C_v (it is then outside N_{i,*} and accounted
+// against the d_v/4 ignore budget).
+func (a *twoPhaseAlg) ignored(v int, cu []int) bool {
+	return cover.ConflictWeight(a.cv[v], cu, 0) >= a.spec.tau
+}
+
+func (a *twoPhaseAlg) Done() bool {
+	if !a.started {
+		a.started = true
+		a.round = 1
+		return false
+	}
+	a.round++
+	if a.round > 3*a.spec.h {
+		a.finished = true
+	}
+	return a.finished
+}

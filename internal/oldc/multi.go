@@ -1,0 +1,180 @@
+package oldc
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Input is a (generalized) OLDC instance: an oriented graph, color lists
+// with per-color defects, and an initial proper m-coloring (e.g. produced
+// by the Linial substrate).
+type Input struct {
+	O          *graph.Oriented
+	SpaceSize  int
+	Lists      []coloring.NodeList
+	InitColors []int
+	M          int
+}
+
+// Options controls the algorithms.
+type Options struct {
+	// Params is the parameter profile for the P2 candidate families; the
+	// zero value selects cover.Practical().
+	Params cover.Params
+	// Gap is the generalized-OLDC gap g of Lemma 3.6 (0 = standard OLDC).
+	Gap int
+	// SkipValidate disables the output validity check (used by ablations
+	// that intentionally under-provision parameters).
+	SkipValidate bool
+}
+
+func resolveParams(opts Options) cover.Params {
+	if opts.Params.TauScale == 0 {
+		return cover.Practical()
+	}
+	return opts.Params
+}
+
+// SolveMulti implements Lemma 3.6: each node restricts its list to the
+// defect class i* with maximal Σ(d_v(x)+1)² mass, which turns the instance
+// into a single-defect one, and then runs the basic algorithm of Section
+// 3.2.3. The output satisfies the gap-g defect bounds; round complexity is
+// O(h) = O(log β) and message size O(min{Λ·log|C|, |C|} + log β + log m)
+// bits.
+func SolveMulti(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.Stats, error) {
+	pr := resolveParams(opts)
+	pr.Gap = opts.Gap
+	o := in.O
+	n := o.N()
+	h := classCount(o)
+	tau := pr.Tau(h, in.SpaceSize, in.M)
+	kprime := pr.KPrime(h, tau)
+
+	spec := basicSpec{
+		o:          o,
+		spaceSize:  in.SpaceSize,
+		m:          in.M,
+		initColors: in.InitColors,
+		lists:      make([][]int, n),
+		defect:     make([]int, n),
+		gclass:     make([]int, n),
+		h:          h,
+		gap:        opts.Gap,
+		tau:        tau,
+		kprime:     kprime,
+		pr:         pr,
+	}
+	for v := 0; v < n; v++ {
+		list, d, err := restrictToBestDefectClass(o.OutDegree(v), in.Lists[v], h)
+		if err != nil {
+			return nil, sim.Stats{}, fmt.Errorf("oldc: node %d: %w", v, err)
+		}
+		spec.lists[v] = list
+		spec.defect[v] = d
+		spec.gclass[v] = gammaClass(o.OutDegree(v), d, h)
+	}
+	phi, stats, err := runBasic(eng, spec)
+	if err != nil {
+		return nil, stats, err
+	}
+	asg := coloring.Assignment(phi)
+	if !opts.SkipValidate {
+		if err := coloring.CheckOLDCGap(o, in.Lists, asg, opts.Gap); err != nil {
+			return nil, stats, fmt.Errorf("oldc: SolveMulti output invalid: %w", err)
+		}
+	}
+	return asg, stats, nil
+}
+
+// SolveProperList is the Maus–Tonoyan two-round special case that Theorem
+// 1.1 generalizes: a *proper* list coloring of a directed graph whose
+// lists are large relative to β² (all defects zero). Forcing a single
+// γ-class gives the original MT20 schedule — one round to exchange types
+// (P2 is solved locally in zero rounds), one round to exchange candidate
+// sets, with the color picked from the conflict-free slack.
+func SolveProperList(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.Stats, error) {
+	pr := resolveParams(opts)
+	pr.Gap = 0
+	o := in.O
+	n := o.N()
+	tau := pr.Tau(1, in.SpaceSize, in.M)
+	spec := basicSpec{
+		o:          o,
+		spaceSize:  in.SpaceSize,
+		m:          in.M,
+		initColors: in.InitColors,
+		lists:      make([][]int, n),
+		defect:     make([]int, n),
+		gclass:     make([]int, n),
+		h:          1,
+		gap:        0,
+		tau:        tau,
+		kprime:     pr.KPrime(1, tau),
+		pr:         pr,
+	}
+	for v := 0; v < n; v++ {
+		l := in.Lists[v]
+		if l.Len() == 0 {
+			return nil, sim.Stats{}, fmt.Errorf("oldc: node %d has an empty list", v)
+		}
+		for _, d := range l.Defect {
+			if d != 0 {
+				return nil, sim.Stats{}, fmt.Errorf("oldc: node %d has a nonzero defect; use SolveMulti", v)
+			}
+		}
+		spec.lists[v] = l.Colors
+		spec.gclass[v] = 1
+	}
+	phi, stats, err := runBasic(eng, spec)
+	if err != nil {
+		return nil, stats, err
+	}
+	asg := coloring.Assignment(phi)
+	if !opts.SkipValidate {
+		if err := coloring.CheckOLDC(o, in.Lists, asg); err != nil {
+			return nil, stats, fmt.Errorf("oldc: SolveProperList output invalid: %w", err)
+		}
+	}
+	return asg, stats, nil
+}
+
+// restrictToBestDefectClass partitions the list by defect class
+// i = ⌈log₂(2β/(d+1))⌉ and returns the class with maximal Σ(d+1)² mass
+// (the proof of Lemma 3.6), using the minimum defect of the class as the
+// single defect value.
+func restrictToBestDefectClass(beta int, l coloring.NodeList, h int) ([]int, int, error) {
+	if l.Len() == 0 {
+		return nil, 0, fmt.Errorf("empty color list")
+	}
+	type class struct {
+		colors []int
+		minDef int
+		mass   int
+	}
+	classes := map[int]*class{}
+	for i, c := range l.Colors {
+		d := l.Defect[i]
+		cl := gammaClass(beta, d, h)
+		e, ok := classes[cl]
+		if !ok {
+			e = &class{minDef: d}
+			classes[cl] = e
+		}
+		e.colors = append(e.colors, c)
+		if d < e.minDef {
+			e.minDef = d
+		}
+		e.mass += (d + 1) * (d + 1)
+	}
+	var best *class
+	for _, e := range classes {
+		if best == nil || e.mass > best.mass {
+			best = e
+		}
+	}
+	return best.colors, best.minDef, nil
+}

@@ -1,0 +1,347 @@
+package oldc
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// basicSpec is the input of the basic single-defect algorithm of Section
+// 3.2.3: every node has one restricted color list, one defect value, and a
+// γ-class; colors within distance gap conflict.
+type basicSpec struct {
+	o          *graph.Oriented
+	spaceSize  int
+	m          int
+	initColors []int
+	lists      [][]int // sorted single-defect lists (before residue restriction)
+	defect     []int
+	gclass     []int // γ-class i_v ∈ [1, h]
+	h          int
+	gap        int
+	tau        int
+	kprime     int
+	pr         cover.Params
+}
+
+// basicAlg runs the basic algorithm:
+//
+//	round 1:      broadcast type; compute C_v from the received types (P2→P1)
+//	round 2:      broadcast C_v (as an index); class h picks its color
+//	round 2+k:    freshly picked colors are announced; class h−k picks
+//
+// for a total of h+1 rounds.
+type basicAlg struct {
+	spec    basicSpec
+	reslist [][]int // residue-restricted lists (Section 3.2.2)
+	ownK    [][][]int
+	cv      [][]int
+
+	nbrType  []map[int]typeInfo // per node: out-neighbor id → type
+	nbrCv    []map[int][]int    // per node: out-neighbor id → C_u
+	nbrColor []map[int]int      // per node: out-neighbor id → final color
+
+	phi        []int
+	pickedAt   []int // round at which v picked (to broadcast once)
+	round      int
+	started    bool
+	finished   bool
+	violations []string
+}
+
+type typeInfo struct {
+	initColor int
+	gclass    int
+	defect    int
+	list      []int
+}
+
+func newBasicAlg(spec basicSpec) (*basicAlg, error) {
+	n := spec.o.N()
+	a := &basicAlg{
+		spec:     spec,
+		reslist:  make([][]int, n),
+		ownK:     make([][][]int, n),
+		cv:       make([][]int, n),
+		nbrType:  make([]map[int]typeInfo, n),
+		nbrCv:    make([]map[int][]int, n),
+		nbrColor: make([]map[int]int, n),
+		phi:      make([]int, n),
+		pickedAt: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if len(spec.lists[v]) == 0 {
+			return nil, fmt.Errorf("oldc: node %d has an empty list", v)
+		}
+		if spec.gclass[v] < 1 || spec.gclass[v] > spec.h {
+			return nil, fmt.Errorf("oldc: node %d has γ-class %d outside [1,%d]", v, spec.gclass[v], spec.h)
+		}
+		_, res := cover.BestResidue(spec.lists[v], spec.gap)
+		a.reslist[v] = res
+		a.ownK[v] = a.familyOf(typeInfo{
+			initColor: spec.initColors[v],
+			gclass:    spec.gclass[v],
+			defect:    spec.defect[v],
+			list:      res,
+		})
+		a.nbrType[v] = make(map[int]typeInfo)
+		a.nbrCv[v] = make(map[int][]int)
+		a.nbrColor[v] = make(map[int]int)
+		a.phi[v] = -1
+		a.pickedAt[v] = -1
+	}
+	return a, nil
+}
+
+// familyOf re-derives the deterministic candidate family of a type. Both a
+// node and all its neighbors run this on the same inputs, which is what
+// makes the "send the type, not the family" encoding of Lemma 3.6 work.
+func (a *basicAlg) familyOf(t typeInfo) [][]int {
+	setSize := a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list))
+	return cover.Family(cover.Type{
+		InitColor: t.initColor,
+		List:      t.list,
+		SetSize:   setSize,
+		NumSets:   a.spec.kprime,
+	})
+}
+
+func (a *basicAlg) typePayload(v int) typeMsg {
+	return typeMsg{
+		initColor:  a.spec.initColors[v],
+		gclass:     a.spec.gclass[v],
+		defect:     a.spec.defect[v],
+		list:       a.reslist[v],
+		mWidth:     bitio.WidthFor(a.spec.m),
+		hWidth:     bitio.WidthFor(a.spec.h + 1),
+		spaceSize:  a.spec.spaceSize,
+		colorWidth: bitio.WidthFor(a.spec.spaceSize),
+	}
+}
+
+func (a *basicAlg) Outbox(v int, out *sim.Outbox) {
+	switch {
+	case a.round == 1:
+		out.Broadcast(a.typePayload(v))
+	case a.round == 2:
+		idx := a.cvIndex(v)
+		out.Broadcast(chosenSetMsg{index: idx, width: bitio.WidthFor(a.spec.kprime)})
+	default:
+		if a.pickedAt[v] == a.round-1 {
+			out.Broadcast(colorMsg{color: a.phi[v], width: bitio.WidthFor(a.spec.spaceSize)})
+		}
+	}
+}
+
+func (a *basicAlg) cvIndex(v int) int {
+	for i, c := range a.ownK[v] {
+		if sameSlice(c, a.cv[v]) {
+			return i
+		}
+	}
+	return 0
+}
+
+func (a *basicAlg) Inbox(v int, in []sim.Received) {
+	switch {
+	case a.round == 1:
+		for _, msg := range in {
+			if !a.spec.o.HasArc(v, msg.From) {
+				continue
+			}
+			m := msg.Payload.(typeMsg)
+			a.nbrType[v][msg.From] = typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+		}
+		a.chooseCv(v)
+	case a.round == 2:
+		for _, msg := range in {
+			if !a.spec.o.HasArc(v, msg.From) {
+				continue
+			}
+			m := msg.Payload.(chosenSetMsg)
+			ku := a.familyOf(a.nbrType[v][msg.From])
+			if m.index < len(ku) {
+				a.nbrCv[v][msg.From] = ku[m.index]
+			}
+		}
+		if a.spec.gclass[v] == a.spec.h {
+			a.pickColor(v)
+		}
+	default:
+		for _, msg := range in {
+			if m, ok := msg.Payload.(colorMsg); ok && a.spec.o.HasArc(v, msg.From) {
+				a.nbrColor[v][msg.From] = m.color
+			}
+		}
+		cur := a.spec.h - (a.round - 2)
+		if a.spec.gclass[v] == cur {
+			a.pickColor(v)
+		}
+	}
+}
+
+// chooseCv solves P1 for node v: among the candidate family, pick the set
+// with the fewest τ&g-conflicting same-or-lower-class out-neighbors.
+func (a *basicAlg) chooseCv(v int) {
+	type nbrFam struct{ fam [][]int }
+	var fams []nbrFam
+	for u, t := range a.nbrType[v] {
+		if t.gclass <= a.spec.gclass[v] {
+			_ = u
+			fams = append(fams, nbrFam{fam: a.familyOf(t)})
+		}
+	}
+	best := -1
+	bestD := int(^uint(0) >> 1)
+	for _, c := range a.ownK[v] {
+		d := 0
+		for _, nf := range fams {
+			for _, cu := range nf.fam {
+				if cover.TauGConflict(c, cu, a.spec.tau, a.spec.gap) {
+					d++
+					break
+				}
+			}
+		}
+		if d < bestD {
+			bestD = d
+			a.cv[v] = c
+			best = 0
+		}
+	}
+	if best == -1 {
+		// Degenerate family; fall back to the full restricted list.
+		a.cv[v] = a.reslist[v]
+	}
+}
+
+// pickColor finalizes v's color: the list color with the lowest frequency
+// among same-or-lower-class out-neighbor candidate sets and already-colored
+// higher-class out-neighbors (Section 3.2.3).
+func (a *basicAlg) pickColor(v int) {
+	bestX := -1
+	bestF := int(^uint(0) >> 1)
+	for _, x := range a.cv[v] {
+		f := 0
+		for u, cu := range a.nbrCv[v] {
+			if a.nbrType[v][u].gclass <= a.spec.gclass[v] {
+				f += cover.MuG(x, cu, a.spec.gap)
+			}
+		}
+		for _, xu := range a.nbrColor[v] {
+			if abs(xu-x) <= a.spec.gap {
+				f++
+			}
+		}
+		if f < bestF {
+			bestF = f
+			bestX = x
+		}
+	}
+	if bestX == -1 {
+		bestX = a.reslist[v][0]
+	}
+	a.phi[v] = bestX
+	a.pickedAt[v] = a.round
+}
+
+func (a *basicAlg) Done() bool {
+	if !a.started {
+		a.started = true
+		a.round = 1
+		return false
+	}
+	a.round++
+	if a.round > a.spec.h+1 {
+		a.finished = true
+	}
+	return a.finished
+}
+
+// runBasic executes the basic algorithm and returns the coloring.
+func runBasic(eng *sim.Engine, spec basicSpec) ([]int, sim.Stats, error) {
+	alg, err := newBasicAlg(spec)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	stats, err := eng.Run(alg, spec.h+3)
+	if err != nil {
+		return nil, stats, err
+	}
+	for v, c := range alg.phi {
+		if c < 0 {
+			return nil, stats, fmt.Errorf("oldc: node %d left uncolored", v)
+		}
+	}
+	return alg.phi, stats, nil
+}
+
+func sameSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// gammaClass returns the smallest i ≥ 1 with 2^i ≥ 2β/(d+1), clamped to h
+// (Section 3.2.3).
+func gammaClass(beta, d, h int) int {
+	need := 2 * beta / (d + 1)
+	i := 1
+	for (1 << uint(i)) < need {
+		i++
+	}
+	if i > h {
+		i = h
+	}
+	return i
+}
+
+// maxOutDegreePow2 returns β̂ = max_v β̂_v (out-degrees rounded up to powers
+// of two).
+func maxOutDegreePow2(o *graph.Oriented) int {
+	b := 1
+	for v := 0; v < o.N(); v++ {
+		p := nextPow2(o.OutDegree(v))
+		if p > b {
+			b = p
+		}
+	}
+	return b
+}
+
+func nextPow2(x int) int {
+	p := 1
+	for p < x {
+		p *= 2
+	}
+	return p
+}
+
+// classCount returns h = max(1, ⌈log₂ β̂⌉).
+func classCount(o *graph.Oriented) int {
+	b := maxOutDegreePow2(o)
+	h := 0
+	for (1 << uint(h)) < b {
+		h++
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,29 @@
+package oldc
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// SolveUndirected solves a list defective coloring instance on an
+// undirected graph by the reduction remarked after Theorem 1.2: replacing
+// every edge {u,v} by the two arcs (u,v) and (v,u) makes the undirected
+// instance an equivalent oriented one with β_v = deg(v). The square-sum
+// condition then reads Σ(d_v(x)+1)² ≥ α·deg(v)²·κ.
+func SolveUndirected(eng *sim.Engine, in *coloring.Instance, initColors []int, m int, opts Options) (coloring.Assignment, sim.Stats, error) {
+	o := graph.OrientSymmetric(in.G)
+	oin := Input{O: o, SpaceSize: in.SpaceSize, Lists: in.Lists, InitColors: initColors, M: m}
+	inner := opts
+	inner.SkipValidate = true
+	phi, stats, err := Solve(eng, oin, inner)
+	if err != nil {
+		return nil, stats, err
+	}
+	if !opts.SkipValidate {
+		if err := coloring.CheckLDC(in, phi); err != nil {
+			return nil, stats, err
+		}
+	}
+	return phi, stats, nil
+}

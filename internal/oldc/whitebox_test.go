@@ -1,0 +1,146 @@
+package oldc
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+func TestNextPow2(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {17, 32}, {1024, 1024},
+	} {
+		if got := nextPow2(tc.in); got != tc.want {
+			t.Fatalf("nextPow2(%d)=%d want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClassCount(t *testing.T) {
+	// h = ⌈log₂ β̂⌉, at least 1.
+	ring := graph.OrientByID(graph.Ring(8))
+	if h := classCount(ring); h != 1 {
+		t.Fatalf("ring h=%d", h)
+	}
+	k9 := graph.OrientByID(graph.Clique(9)) // β̂ = 8
+	if h := classCount(k9); h != 3 {
+		t.Fatalf("K9 h=%d", h)
+	}
+}
+
+func TestMaxOutDegreePow2(t *testing.T) {
+	g := graph.CompleteBipartite(1, 5) // star: center degree 5
+	o := graph.Orient(g, func(u, v int) bool { return u == 0 })
+	if b := maxOutDegreePow2(o); b != 8 {
+		t.Fatalf("β̂=%d want 8", b)
+	}
+}
+
+func TestRemoveBadColors(t *testing.T) {
+	g := graph.Path(2)
+	o := graph.OrientByID(g)
+	spec := basicSpec{
+		o: o, spaceSize: 16, m: 4, initColors: []int{0, 1},
+		lists:  [][]int{{1, 2, 3, 4}, {5}},
+		defect: []int{8, 0}, gclass: []int{1, 1}, h: 1,
+		tau: 2, kprime: 4, pr: cover.Practical(),
+	}
+	a := newTwoPhase(spec)
+	// Colors 1 and 2 appear in more than d/4 = 2 lower-class candidate
+	// sets; they must be removed.
+	a.lowerCuCount[0][1] = 3
+	a.lowerCuCount[0][2] = 5
+	a.lowerCuCount[0][3] = 2 // exactly at the limit: kept
+	got := a.removeBadColors(0)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("removeBadColors=%v", got)
+	}
+}
+
+func TestRemoveBadColorsKeepsLeastBad(t *testing.T) {
+	g := graph.Path(2)
+	o := graph.OrientByID(g)
+	spec := basicSpec{
+		o: o, spaceSize: 16, m: 4, initColors: []int{0, 1},
+		lists:  [][]int{{1, 2}, {5}},
+		defect: []int{0, 0}, gclass: []int{1, 1}, h: 1,
+		tau: 2, kprime: 4, pr: cover.Practical(),
+	}
+	a := newTwoPhase(spec)
+	a.lowerCuCount[0][1] = 9
+	a.lowerCuCount[0][2] = 4
+	got := a.removeBadColors(0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("least-bad fallback=%v", got)
+	}
+}
+
+func TestIgnoredThreshold(t *testing.T) {
+	g := graph.Path(2)
+	o := graph.OrientByID(g)
+	spec := basicSpec{
+		o: o, spaceSize: 64, m: 4, initColors: []int{0, 1},
+		lists:  [][]int{{1, 2, 3}, {4}},
+		defect: []int{0, 0}, gclass: []int{1, 1}, h: 1,
+		tau: 2, kprime: 4, pr: cover.Practical(),
+	}
+	a := newTwoPhase(spec)
+	a.cv[0] = []int{1, 2, 3}
+	if a.ignored(0, []int{1, 9, 10}) {
+		t.Fatal("1 shared color < τ=2 must not be ignored")
+	}
+	if !a.ignored(0, []int{1, 2, 10}) {
+		t.Fatal("2 shared colors ≥ τ=2 must be ignored")
+	}
+}
+
+func TestBasicAlgRejectsBadSpec(t *testing.T) {
+	g := graph.Path(2)
+	o := graph.OrientByID(g)
+	spec := basicSpec{
+		o: o, spaceSize: 8, m: 4, initColors: []int{0, 1},
+		lists:  [][]int{{}, {1}},
+		defect: []int{0, 0}, gclass: []int{1, 1}, h: 1,
+		tau: 2, kprime: 2, pr: cover.Practical(),
+	}
+	if _, err := newBasicAlg(spec); err == nil {
+		t.Fatal("empty list must be rejected")
+	}
+	spec.lists[0] = []int{1}
+	spec.gclass[0] = 9 // outside [1, h]
+	if _, err := newBasicAlg(spec); err == nil {
+		t.Fatal("γ-class out of range must be rejected")
+	}
+}
+
+func TestFamilyOfConsistency(t *testing.T) {
+	// The sender and the receiver must derive identical families from the
+	// same type — the core of the Lemma 3.6 encoding trick.
+	g := graph.Path(2)
+	o := graph.OrientByID(g)
+	spec := basicSpec{
+		o: o, spaceSize: 64, m: 8, initColors: []int{3, 5},
+		lists:  [][]int{{1, 5, 9, 13, 17, 21}, {2, 6}},
+		defect: []int{1, 0}, gclass: []int{2, 1}, h: 2,
+		tau: 2, kprime: 4, pr: cover.Practical(),
+	}
+	a, err := newBasicAlg(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := typeInfo{initColor: 3, gclass: 2, defect: 1, list: a.reslist[0]}
+	k1 := a.familyOf(ti)
+	k2 := a.familyOf(ti)
+	if len(k1) == 0 || len(k1) != len(k2) {
+		t.Fatalf("family sizes %d vs %d", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if !sameSlice(k1[i], k2[i]) {
+			t.Fatal("family derivation not deterministic")
+		}
+	}
+	if a.ownK[0] == nil || !sameSlice(a.ownK[0][0], k1[0]) {
+		t.Fatal("own family must match the type derivation")
+	}
+}

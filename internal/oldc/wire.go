@@ -1,0 +1,129 @@
+// Package oldc implements the paper's core contribution (Section 3): the
+// deterministic distributed algorithms for oriented list defective coloring
+// (OLDC).
+//
+//   - runBasic (single.go) is the basic algorithm of Section 3.2.3 for
+//     instances where every node has one fixed defect value, including the
+//     generalized gap-g variant.
+//   - SolveMulti (multi.go) is Lemma 3.6: arbitrary defect functions are
+//     reduced to the single-defect case by restricting each node to the
+//     defect class with the largest (d+1)² mass.
+//   - Solve (main.go) is Lemma 3.8 / Theorem 1.1: γ-classes are chosen by
+//     an auxiliary generalized OLDC instance, and a two-phase algorithm
+//     (ascending class iterations with bad-color removal, then descending
+//     color selection) solves the instance under the weaker condition (6).
+//
+// All algorithms run on the synchronous simulator with bit-accounted
+// CONGEST messages; the type messages use the exact encodings from the
+// proof of Lemma 3.6 (send the restricted list, the defect, and the initial
+// color instead of the astronomically large family K_v, which the receiver
+// re-derives deterministically).
+package oldc
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/sim"
+)
+
+// typeMsg carries a node's P2 type: its initial color, γ-class, single
+// defect value, and restricted color list. The receiver re-derives the
+// candidate family K deterministically from these fields (Lemma 3.6's
+// encoding argument).
+type typeMsg struct {
+	initColor int
+	gclass    int
+	defect    int
+	list      []int
+	// encoding widths (global knowledge)
+	mWidth     int
+	hWidth     int
+	spaceSize  int
+	colorWidth int
+}
+
+func (m typeMsg) EncodeBits(w *bitio.Writer) {
+	w.WriteUint(uint64(m.initColor), m.mWidth)
+	w.WriteUint(uint64(m.gclass), m.hWidth)
+	w.WriteVarint(uint64(m.defect))
+	// The list is sent as the cheaper of a characteristic vector (|C| bits)
+	// or an explicit color list (Λ·log|C| bits) — the min{|C|, Λ·log|C|}
+	// term of Theorem 1.1.
+	explicit := 1 + len(m.list)*m.colorWidth
+	if m.spaceSize <= explicit {
+		w.WriteBit(0)
+		w.WriteBitset(m.list, m.spaceSize)
+	} else {
+		w.WriteBit(1)
+		w.WriteVarint(uint64(len(m.list)))
+		for _, c := range m.list {
+			w.WriteUint(uint64(c), m.colorWidth)
+		}
+	}
+}
+
+// chosenSetMsg announces the P1 output C_v as an index into the sender's
+// candidate family (receivers re-derive the family from the type message).
+type chosenSetMsg struct {
+	index int
+	width int
+}
+
+func (m chosenSetMsg) EncodeBits(w *bitio.Writer) {
+	w.WriteUint(uint64(m.index), m.width)
+}
+
+// colorMsg announces a final color choice.
+type colorMsg struct {
+	color int
+	width int
+}
+
+func (m colorMsg) EncodeBits(w *bitio.Writer) {
+	w.WriteUint(uint64(m.color), m.width)
+}
+
+var (
+	_ sim.Payload = typeMsg{}
+	_ sim.Payload = chosenSetMsg{}
+	_ sim.Payload = colorMsg{}
+)
+
+// The simulator hands the receiver the payload value directly and uses
+// EncodeBits only for bandwidth accounting; the decoders below certify
+// that the encodings are self-contained (a real CONGEST wire could carry
+// exactly these bits). They are exercised by round-trip tests.
+
+// decodeTypeMsg parses the wire form of a typeMsg given the shared global
+// parameters (m, h, |C|).
+func decodeTypeMsg(r *bitio.Reader, m, h, spaceSize int) typeMsg {
+	out := typeMsg{
+		mWidth:     bitio.WidthFor(m),
+		hWidth:     bitio.WidthFor(h + 1),
+		spaceSize:  spaceSize,
+		colorWidth: bitio.WidthFor(spaceSize),
+	}
+	out.initColor = int(r.ReadUint(out.mWidth))
+	out.gclass = int(r.ReadUint(out.hWidth))
+	out.defect = int(r.ReadVarint())
+	if r.ReadBit() == 0 {
+		out.list = r.ReadBitset(spaceSize)
+	} else {
+		n := int(r.ReadVarint())
+		for i := 0; i < n; i++ {
+			out.list = append(out.list, int(r.ReadUint(out.colorWidth)))
+		}
+	}
+	return out
+}
+
+// decodeChosenSetMsg parses the wire form of a chosenSetMsg.
+func decodeChosenSetMsg(r *bitio.Reader, kprime int) chosenSetMsg {
+	w := bitio.WidthFor(kprime)
+	return chosenSetMsg{index: int(r.ReadUint(w)), width: w}
+}
+
+// decodeColorMsg parses the wire form of a colorMsg.
+func decodeColorMsg(r *bitio.Reader, spaceSize int) colorMsg {
+	w := bitio.WidthFor(spaceSize)
+	return colorMsg{color: int(r.ReadUint(w)), width: w}
+}

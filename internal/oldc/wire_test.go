@@ -1,0 +1,105 @@
+package oldc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func TestTypeMsgRoundTrip(t *testing.T) {
+	m, h, space := 900, 6, 4096
+	msg := typeMsg{
+		initColor:  123,
+		gclass:     4,
+		defect:     17,
+		list:       []int{5, 99, 100, 2047, 4095},
+		mWidth:     bitio.WidthFor(m),
+		hWidth:     bitio.WidthFor(h + 1),
+		spaceSize:  space,
+		colorWidth: bitio.WidthFor(space),
+	}
+	w := bitio.NewWriter()
+	msg.EncodeBits(w)
+	got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	if got.initColor != msg.initColor || got.gclass != msg.gclass || got.defect != msg.defect {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.list, msg.list) {
+		t.Fatalf("list mismatch: %v vs %v", got.list, msg.list)
+	}
+}
+
+func TestTypeMsgBitsetBranch(t *testing.T) {
+	// A long list over a small space triggers the |C|-bit bitset encoding
+	// (the min{} in Theorem 1.1's message bound); it must round-trip too.
+	m, h, space := 64, 3, 32
+	list := make([]int, 0, 20)
+	for i := 0; i < 20; i++ {
+		list = append(list, i)
+	}
+	msg := typeMsg{
+		initColor: 7, gclass: 2, defect: 1, list: list,
+		mWidth: bitio.WidthFor(m), hWidth: bitio.WidthFor(h + 1),
+		spaceSize: space, colorWidth: bitio.WidthFor(space),
+	}
+	w := bitio.NewWriter()
+	msg.EncodeBits(w)
+	// 1 + Λ·log|C| = 1 + 20·5 = 101 > |C| = 32 → bitset branch: size is
+	// header + 1 + 32 bits.
+	header := msg.mWidth + msg.hWidth
+	if w.Len() > header+16+1+space {
+		t.Fatalf("bitset branch not taken: %d bits", w.Len())
+	}
+	got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	if !reflect.DeepEqual(got.list, list) {
+		t.Fatalf("bitset round trip failed: %v", got.list)
+	}
+}
+
+func TestTypeMsgRoundTripProperty(t *testing.T) {
+	f := func(init uint16, gclass uint8, defect uint8, raw []uint16) bool {
+		m, h, space := 1<<16, 8, 1<<12
+		seen := map[int]bool{}
+		var list []int
+		for _, x := range raw {
+			c := int(x) % space
+			if !seen[c] {
+				seen[c] = true
+				list = append(list, c)
+			}
+		}
+		sortInts(list)
+		msg := typeMsg{
+			initColor: int(init), gclass: int(gclass)%h + 1, defect: int(defect),
+			list:   list,
+			mWidth: bitio.WidthFor(m), hWidth: bitio.WidthFor(h + 1),
+			spaceSize: space, colorWidth: bitio.WidthFor(space),
+		}
+		w := bitio.NewWriter()
+		msg.EncodeBits(w)
+		got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+		return got.initColor == msg.initColor && got.gclass == msg.gclass &&
+			got.defect == msg.defect && reflect.DeepEqual(got.list, msg.list)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChosenSetAndColorRoundTrip(t *testing.T) {
+	w := bitio.NewWriter()
+	chosenSetMsg{index: 13, width: bitio.WidthFor(16)}.EncodeBits(w)
+	colorMsg{color: 512, width: bitio.WidthFor(4096)}.EncodeBits(w)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	if got := decodeChosenSetMsg(r, 16); got.index != 13 {
+		t.Fatalf("index=%d", got.index)
+	}
+	if got := decodeColorMsg(r, 4096); got.color != 512 {
+		t.Fatalf("color=%d", got.color)
+	}
+	if r.Remaining() != 0 {
+		t.Fatal("leftover bits")
+	}
+}

@@ -1,0 +1,208 @@
+// Package seq implements the sequential list defective coloring algorithms
+// of Appendix A of the paper, plus the classic sequential greedy baseline.
+// These both serve as existence proofs (Lemmas A.1 and A.2) and as oracle
+// baselines for the distributed algorithms.
+package seq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// ErrCondition is returned when an instance violates the existence
+// condition required by the requested algorithm.
+var ErrCondition = errors.New("seq: instance violates existence condition")
+
+// Greedy computes a proper list coloring by scanning nodes in id order and
+// picking the first list color unused by already-colored neighbors. It
+// succeeds whenever Σ(d_v(x)+1) ≥ deg(v)+1 with zero defects, i.e. for
+// (degree+1)-list coloring instances.
+func Greedy(in *coloring.Instance) (coloring.Assignment, error) {
+	phi := coloring.NewAssignment(in.G.N())
+	for v := 0; v < in.G.N(); v++ {
+		taken := map[int]bool{}
+		for _, u := range in.G.Neighbors(v) {
+			if phi[u] != coloring.Unset {
+				taken[phi[u]] = true
+			}
+		}
+		found := false
+		for _, c := range in.Lists[v].Colors {
+			if !taken[c] {
+				phi[v] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("seq: greedy stuck at node %d (list size %d, %d taken)",
+				v, in.Lists[v].Len(), len(taken))
+		}
+	}
+	return phi, nil
+}
+
+// ListDefective computes a list defective coloring using the potential
+// function argument of Lemma A.1: start from an arbitrary list coloring and
+// repeatedly recolor an "unhappy" node (one whose defect bound is violated)
+// with a color whose current defect is within bound. The potential
+// Φ = M + Σ_v (deg(v) − d_v(φ(v))) strictly decreases, so the process
+// terminates within 3|E| + Σdeg recolorings.
+//
+// It requires condition (1): Σ_{x∈L_v}(d_v(x)+1) > deg(v) for all v.
+func ListDefective(in *coloring.Instance) (coloring.Assignment, error) {
+	phi, _, err := ListDefectiveWithStats(in)
+	return phi, err
+}
+
+// ListDefectiveWithStats is ListDefective exposing the number of
+// recoloring steps, which the potential argument of Lemma A.1 bounds by
+// Φ₀ ≤ 3|E|.
+func ListDefectiveWithStats(in *coloring.Instance) (coloring.Assignment, int, error) {
+	if !coloring.CondExistsLDC(in) {
+		return nil, 0, ErrCondition
+	}
+	n := in.G.N()
+	phi := make(coloring.Assignment, n)
+	for v := 0; v < n; v++ {
+		if in.Lists[v].Len() == 0 {
+			return nil, 0, fmt.Errorf("seq: node %d has empty list", v)
+		}
+		phi[v] = in.Lists[v].Colors[0]
+	}
+	defectNow := func(v, x int) int {
+		cnt := 0
+		for _, u := range in.G.Neighbors(v) {
+			if phi[u] == x {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	unhappy := func(v int) bool {
+		d, _ := in.Lists[v].DefectOf(phi[v])
+		return defectNow(v, phi[v]) > d
+	}
+	// Queue-driven scan; a recoloring can only make the recolored node's
+	// neighbors unhappy, so we re-enqueue them.
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if unhappy(v) {
+			queue = append(queue, v)
+			inQueue[v] = true
+		}
+	}
+	steps := 0
+	limit := 3*in.G.M() + 2*in.G.M() + n + 16
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		if !unhappy(v) {
+			continue
+		}
+		if steps++; steps > limit {
+			return nil, steps, fmt.Errorf("seq: potential argument violated after %d steps", steps)
+		}
+		// Find a color y with current defect ≤ d_v(y). Existence is
+		// guaranteed by condition (1) and pigeonhole.
+		recolored := false
+		for i, y := range in.Lists[v].Colors {
+			if defectNow(v, y) <= in.Lists[v].Defect[i] {
+				phi[v] = y
+				recolored = true
+				break
+			}
+		}
+		if !recolored {
+			return nil, steps, fmt.Errorf("seq: no admissible recoloring at node %d (condition violated?)", v)
+		}
+		for _, u := range in.G.Neighbors(v) {
+			if !inQueue[u] && unhappy(int(u)) {
+				queue = append(queue, int(u))
+				inQueue[u] = true
+			}
+		}
+	}
+	if err := coloring.CheckLDC(in, phi); err != nil {
+		return nil, steps, err
+	}
+	return phi, steps, nil
+}
+
+// ListArbdefective computes a list arbdefective coloring following Lemma
+// A.2: run the Lemma A.1 algorithm with doubled defects d'_v(x) = 2·d_v(x),
+// then orient each color class with an Euler orientation so that every
+// node's same-color out-degree is at most ⌈δ/2⌉ ≤ d_v(x). Edges between
+// different color classes are oriented arbitrarily (by id).
+//
+// It requires condition (2): Σ_{x∈L_v}(2·d_v(x)+1) > deg(v) for all v.
+func ListArbdefective(in *coloring.Instance) (coloring.Assignment, *graph.Oriented, error) {
+	if !coloring.CondExistsArb(in) {
+		return nil, nil, ErrCondition
+	}
+	doubled := &coloring.Instance{G: in.G, SpaceSize: in.SpaceSize, Lists: make([]coloring.NodeList, in.G.N())}
+	for v, l := range in.Lists {
+		def := make([]int, len(l.Defect))
+		for i, d := range l.Defect {
+			def[i] = 2 * d
+		}
+		doubled.Lists[v] = coloring.NodeList{Colors: l.Colors, Defect: def}
+	}
+	phi, err := ListDefective(doubled)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Orient each monochromatic class via Euler orientation; the oriented
+	// same-color out-degree becomes ≤ ⌈sameDeg/2⌉ ≤ ⌈2d/2⌉ = d.
+	orient := orientClasses(in.G, phi)
+	if err := coloring.CheckArb(in, phi, orient); err != nil {
+		return nil, nil, err
+	}
+	return phi, orient, nil
+}
+
+// orientClasses builds an orientation of g where monochromatic edges follow
+// per-class Euler orientations and bichromatic edges point to the smaller
+// id.
+func orientClasses(g *graph.Graph, phi coloring.Assignment) *graph.Oriented {
+	// Collect classes.
+	classes := map[int][]int{}
+	for v := 0; v < g.N(); v++ {
+		classes[phi[v]] = append(classes[phi[v]], v)
+	}
+	// Record the Euler direction of every monochromatic edge.
+	dir := map[[2]int]bool{} // (u,v) with u<v → true iff oriented u→v
+	for _, vs := range classes {
+		sub, orig := g.InducedSubgraph(vs)
+		o := graph.EulerOrientation(sub)
+		for a := 0; a < sub.N(); a++ {
+			for _, b := range o.Out(a) {
+				u, v := orig[a], orig[int(b)]
+				if u < v {
+					dir[[2]int{u, v}] = true
+				} else {
+					dir[[2]int{v, u}] = false
+				}
+			}
+		}
+	}
+	return graph.Orient(g, func(u, v int) bool {
+		if phi[u] == phi[v] {
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			fwd := dir[[2]int{lo, hi}]
+			if u == lo {
+				return fwd
+			}
+			return !fwd
+		}
+		return u > v
+	})
+}

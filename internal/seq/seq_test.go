@@ -1,0 +1,193 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+func TestGreedyDegreePlusOne(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(9), graph.Clique(10), graph.GNP(60, 0.15, 1), graph.Grid(8, 8)} {
+		in := coloring.DegreePlusOne(g, g.MaxDegree()*4+1, 7)
+		phi, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckProperList(in, phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyStandard(t *testing.T) {
+	g := graph.Clique(12)
+	in := coloring.Standard(g)
+	phi, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coloring.CountColors(phi) != 12 {
+		t.Fatalf("clique must use all %d colors, used %d", 12, coloring.CountColors(phi))
+	}
+}
+
+func TestListDefectiveLemmaA1(t *testing.T) {
+	// Random instances right at the existence threshold.
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.GNP(40, 0.25, seed)
+		in := coloring.DegreePlusOne(g, 3*g.MaxDegree()+1, seed)
+		phi, err := ListDefective(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := coloring.CheckLDC(in, phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListDefectiveWithDefects(t *testing.T) {
+	// Lists much shorter than degree+1 but with defects making up for it:
+	// Δ=9 ring-of-cliques style graph, defect 2 lists of size 4:
+	// Σ(d+1) = 12 > 9.
+	g := graph.RandomRegular(30, 9, 5)
+	in := coloring.UniformDefective(g, 64, 4, 2, 3)
+	phi, err := ListDefective(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckLDC(in, phi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListDefectiveRejectsViolatingInstance(t *testing.T) {
+	in := coloring.CliqueUniform(8, 0, 7) // Σ(d+1) = 7 = deg: fails (1)
+	if _, err := ListDefective(in); err != ErrCondition {
+		t.Fatalf("want ErrCondition, got %v", err)
+	}
+}
+
+func TestListDefectiveCliqueTight(t *testing.T) {
+	// Σ(d+1) = n > deg = n-1: exactly at the threshold, must succeed.
+	for _, n := range []int{4, 7, 12} {
+		in := coloring.CliqueUniform(n, 1, n)
+		phi, err := ListDefective(in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := coloring.CheckLDC(in, phi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListDefectiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.GNP(25, 0.3, seed)
+		in := coloring.UniformDefective(g, 128, g.MaxDegree()/2+2, 1, seed)
+		// Only run when condition (1) holds (it may not for all nodes).
+		if !coloring.CondExistsLDC(in) {
+			return true
+		}
+		phi, err := ListDefective(in)
+		if err != nil {
+			return false
+		}
+		return coloring.CheckLDC(in, phi) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListDefectiveStepBound(t *testing.T) {
+	// The Lemma A.1 potential Φ₀ ≤ 3|E| bounds the recoloring count.
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.GNP(50, 0.2, seed)
+		in := coloring.UniformDefective(g, 96, g.MaxDegree()/2+2, 1, seed)
+		if !coloring.CondExistsLDC(in) {
+			continue
+		}
+		phi, steps, err := ListDefectiveWithStats(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coloring.CheckLDC(in, phi); err != nil {
+			t.Fatal(err)
+		}
+		if steps > 3*g.M() {
+			t.Fatalf("seed %d: %d recolorings exceed the 3|E| = %d potential bound", seed, steps, 3*g.M())
+		}
+	}
+}
+
+func TestListArbdefectiveLemmaA2(t *testing.T) {
+	// Condition (2) allows lists of roughly half the size of condition (1):
+	// Δ = 9, defect-2 lists of size 2: Σ(2d+1) = 10 > 9.
+	g := graph.RandomRegular(30, 9, 8)
+	in := coloring.UniformDefective(g, 64, 2, 2, 4)
+	phi, orient, err := ListArbdefective(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckArb(in, phi, orient); err != nil {
+		t.Fatal(err)
+	}
+	// Crucially this instance does NOT satisfy condition (1) (Σ(d+1)=6 ≤ 9),
+	// so the arbdefective relaxation is doing real work here.
+	if coloring.CondExistsLDC(in) {
+		t.Fatal("test instance unexpectedly satisfies condition (1)")
+	}
+}
+
+func TestListArbdefectiveRejects(t *testing.T) {
+	// Σ(2d+1) = deg: violates (2).
+	g := graph.Clique(8)
+	in := &coloring.Instance{G: g, SpaceSize: 7, Lists: make([]coloring.NodeList, 8)}
+	for v := range in.Lists {
+		in.Lists[v] = coloring.NodeList{Colors: []int{0, 1, 2, 3, 4, 5, 6}, Defect: make([]int, 7)}
+	}
+	if _, _, err := ListArbdefective(in); err != ErrCondition {
+		t.Fatalf("want ErrCondition, got %v", err)
+	}
+}
+
+func TestListArbdefectiveCliqueThreshold(t *testing.T) {
+	// K_n with a single color of defect d: Σ(2d+1) = 2d+1 > n-1 needs
+	// d ≥ n/2. Euler orientation splits the clique's edges evenly.
+	n := 9
+	d := n / 2 // 4: 2*4+1 = 9 > 8
+	g := graph.Clique(n)
+	in := &coloring.Instance{G: g, SpaceSize: 1, Lists: make([]coloring.NodeList, n)}
+	for v := range in.Lists {
+		in.Lists[v] = coloring.NodeList{Colors: []int{0}, Defect: []int{d}}
+	}
+	phi, orient, err := ListArbdefective(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.CheckArb(in, phi, orient); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListArbdefectiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.GNP(20, 0.35, seed)
+		in := coloring.UniformDefective(g, 64, g.MaxDegree()/3+2, 1, seed)
+		if !coloring.CondExistsArb(in) {
+			return true
+		}
+		phi, orient, err := ListArbdefective(in)
+		if err != nil {
+			return false
+		}
+		return coloring.CheckArb(in, phi, orient) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkEngineRound measures the raw per-round throughput of the
+// simulator: a flood over a 4096-node 8-regular graph (broadcast + inbox
+// scan per node) with bit accounting on.
+func BenchmarkEngineRound(b *testing.B) {
+	g := graph.RandomRegular(4096, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(g)
+		a := newFlood(g.N())
+		if _, err := e.Run(a, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRoundNoBits disables encoding-based accounting.
+func BenchmarkEngineRoundNoBits(b *testing.B) {
+	g := graph.RandomRegular(4096, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(g)
+		e.CountBits = false
+		a := newFlood(g.N())
+		if _, err := e.Run(a, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSequential pins the pool to one worker to expose the
+// parallel speedup of the default configuration.
+func BenchmarkEngineSequential(b *testing.B) {
+	g := graph.RandomRegular(4096, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(g)
+		e.SetWorkers(1)
+		a := newFlood(g.N())
+		if _, err := e.Run(a, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

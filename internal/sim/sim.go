@@ -1,0 +1,304 @@
+// Package sim implements a synchronous message-passing simulator for the
+// LOCAL and CONGEST models (Peleg 2000), the execution substrate for every
+// distributed algorithm in this repository.
+//
+// Execution proceeds in synchronous rounds. In each round every node first
+// produces its outgoing messages (computed in parallel across nodes by a
+// worker pool), then the engine delivers them, then every node consumes its
+// inbox (again in parallel). The engine measures the exact bit size of every
+// message by running its bitio encoding, so CONGEST bandwidth claims are
+// checked against real encodings rather than struct sizes.
+//
+// The per-node callbacks of an Algorithm must only touch the state of the
+// node they are invoked for (plus read-only shared configuration); the
+// engine invokes them concurrently.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+// Payload is a message body. EncodeBits must write the full wire encoding;
+// the engine uses it for bandwidth accounting.
+type Payload interface {
+	EncodeBits(w *bitio.Writer)
+}
+
+// Received is a delivered message.
+type Received struct {
+	From    int
+	Payload Payload
+}
+
+// Algorithm is a distributed algorithm over all nodes of a network.
+type Algorithm interface {
+	// Outbox is called once per node per round to collect the messages
+	// node v sends this round.
+	Outbox(v int, out *Outbox)
+	// Inbox is called once per node per round with the messages delivered
+	// to v, sorted by sender id.
+	Inbox(v int, in []Received)
+	// Done reports global termination; checked between rounds. It must be
+	// safe to call while no Outbox/Inbox call is in flight.
+	Done() bool
+}
+
+// Outbox collects one node's outgoing messages for a round.
+type Outbox struct {
+	node      int
+	neighbors []int32
+	sends     []send
+}
+
+type send struct {
+	to      int32
+	payload Payload
+}
+
+// Broadcast sends p to every neighbor of the node.
+func (o *Outbox) Broadcast(p Payload) {
+	for _, u := range o.neighbors {
+		o.sends = append(o.sends, send{to: u, payload: p})
+	}
+}
+
+// SendTo sends p to the specific neighbor u; u must be adjacent.
+func (o *Outbox) SendTo(u int, p Payload) {
+	o.sends = append(o.sends, send{to: int32(u), payload: p})
+}
+
+// Stats aggregates execution metrics.
+type Stats struct {
+	Rounds         int   // rounds executed
+	Messages       int64 // total messages delivered
+	TotalBits      int64 // total bits on all wires
+	MaxMessageBits int   // size of the largest single message
+	RoundMaxBits   []int // per-round maximum message size
+}
+
+// Add merges another phase's statistics into s and returns the result,
+// summing rounds/messages/bits and taking the max of message sizes.
+func (s Stats) Add(o Stats) Stats {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.TotalBits += o.TotalBits
+	if o.MaxMessageBits > s.MaxMessageBits {
+		s.MaxMessageBits = o.MaxMessageBits
+	}
+	s.RoundMaxBits = append(s.RoundMaxBits, o.RoundMaxBits...)
+	return s
+}
+
+// Engine executes algorithms over a fixed communication graph.
+type Engine struct {
+	g       *graph.Graph
+	workers int
+	// Bandwidth, when > 0, makes Run fail if any single message exceeds
+	// this many bits (CONGEST assertion mode).
+	Bandwidth int
+	// CountBits disables encoding-based accounting when false (useful for
+	// micro-benchmarks where encoding dominates).
+	CountBits bool
+	// Fault, when non-nil, adversarially drops messages: a message from
+	// `from` to `to` in `round` is discarded when Fault returns true. The
+	// algorithms in this repository assume the fault-free synchronous
+	// model, so Fault exists for failure-injection tests that verify the
+	// validators catch corrupted executions instead of passing them
+	// silently.
+	Fault func(round, from, to int) bool
+}
+
+// NewEngine returns an engine over the communication graph g.
+func NewEngine(g *graph.Graph) *Engine {
+	return &Engine{g: g, workers: runtime.GOMAXPROCS(0), CountBits: true}
+}
+
+// SetWorkers overrides the worker-pool size (1 forces fully sequential
+// execution; useful to pin down scheduling-independent behavior in tests).
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Graph returns the communication graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// ErrBandwidth is returned wrapped by Run when a message exceeds the
+// configured bandwidth.
+type ErrBandwidth struct {
+	Round, From, To, Bits, Limit int
+}
+
+// Error implements the error interface.
+func (e *ErrBandwidth) Error() string {
+	return fmt.Sprintf("sim: round %d message %d->%d is %d bits, exceeds bandwidth %d",
+		e.Round, e.From, e.To, e.Bits, e.Limit)
+}
+
+// Run executes alg until Done or maxRounds, returning execution statistics.
+func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
+	n := e.g.N()
+	var stats Stats
+	outboxes := make([]Outbox, n)
+	inboxes := make([][]Received, n)
+	inCounts := make([]int, n)
+	for round := 0; round < maxRounds; round++ {
+		if alg.Done() {
+			return stats, nil
+		}
+		// Phase 1: collect outboxes in parallel.
+		for v := 0; v < n; v++ {
+			outboxes[v] = Outbox{node: v, neighbors: e.g.Neighbors(v), sends: outboxes[v].sends[:0]}
+		}
+		e.parallel(n, func(v int) {
+			alg.Outbox(v, &outboxes[v])
+		})
+		// Phase 2: size accounting and routing (serial; cheap).
+		roundMax := 0
+		for v := 0; v < n; v++ {
+			inCounts[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			for _, s := range outboxes[v].sends {
+				inCounts[s.to]++
+			}
+		}
+		anyMessage := false
+		for v := 0; v < n; v++ {
+			if cap(inboxes[v]) < inCounts[v] {
+				inboxes[v] = make([]Received, 0, inCounts[v])
+			} else {
+				inboxes[v] = inboxes[v][:0]
+			}
+		}
+		for v := 0; v < n; v++ {
+			for _, s := range outboxes[v].sends {
+				if e.Fault != nil && e.Fault(round, v, int(s.to)) {
+					continue
+				}
+				anyMessage = true
+				stats.Messages++
+				if e.CountBits {
+					w := bitio.NewWriter()
+					s.payload.EncodeBits(w)
+					bits := w.Len()
+					stats.TotalBits += int64(bits)
+					if bits > roundMax {
+						roundMax = bits
+					}
+					if bits > stats.MaxMessageBits {
+						stats.MaxMessageBits = bits
+					}
+					if e.Bandwidth > 0 && bits > e.Bandwidth {
+						return stats, &ErrBandwidth{Round: round, From: v, To: int(s.to), Bits: bits, Limit: e.Bandwidth}
+					}
+				}
+				inboxes[s.to] = append(inboxes[s.to], Received{From: v, Payload: s.payload})
+			}
+		}
+		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
+		// Phase 3: deliver in parallel. Senders iterate in id order, so
+		// each inbox is already sorted by sender.
+		e.parallel(n, func(v int) {
+			alg.Inbox(v, inboxes[v])
+		})
+		stats.Rounds++
+		_ = anyMessage
+	}
+	if !alg.Done() {
+		return stats, fmt.Errorf("sim: algorithm did not terminate within %d rounds", maxRounds)
+	}
+	return stats, nil
+}
+
+// parallel runs f(v) for v in [0, n) on the worker pool.
+func (e *Engine) parallel(n int, f func(v int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			f(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				f(v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// --- Common payloads ---
+
+// UintPayload is a fixed-width unsigned integer message.
+type UintPayload struct {
+	Value uint64
+	Width int
+}
+
+// EncodeBits implements Payload.
+func (p UintPayload) EncodeBits(w *bitio.Writer) { w.WriteUint(p.Value, p.Width) }
+
+// VarintPayload is a self-delimiting integer message.
+type VarintPayload struct{ Value uint64 }
+
+// EncodeBits implements Payload.
+func (p VarintPayload) EncodeBits(w *bitio.Writer) { w.WriteVarint(p.Value) }
+
+// BitsetPayload is a characteristic-vector set message over a universe.
+type BitsetPayload struct {
+	Set      []int
+	Universe int
+}
+
+// EncodeBits implements Payload.
+func (p BitsetPayload) EncodeBits(w *bitio.Writer) { w.WriteBitset(p.Set, p.Universe) }
+
+// ListPayload encodes a list of values each of fixed width, preceded by a
+// varint length (the "send the colors" encoding from Lemma 3.6).
+type ListPayload struct {
+	Values []int
+	Width  int
+}
+
+// EncodeBits implements Payload.
+func (p ListPayload) EncodeBits(w *bitio.Writer) {
+	w.WriteVarint(uint64(len(p.Values)))
+	for _, v := range p.Values {
+		w.WriteUint(uint64(v), p.Width)
+	}
+}
+
+// Composite concatenates several payloads into one message.
+type Composite []Payload
+
+// EncodeBits implements Payload.
+func (c Composite) EncodeBits(w *bitio.Writer) {
+	for _, p := range c {
+		p.EncodeBits(w)
+	}
+}
