@@ -6,6 +6,7 @@
 //	ldc-bench                  # run everything at full size
 //	ldc-bench -quick           # smaller sweeps (< a few seconds)
 //	ldc-bench -run E1,E6       # selected experiments
+//	ldc-bench -simbench out.json  # engine microbenchmark → machine-readable JSON
 package main
 
 import (
@@ -21,7 +22,17 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size sweeps")
 	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	simbench := flag.String("simbench", "", "run the simulator microbenchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	flag.Parse()
+
+	if *simbench != "" {
+		rep := bench.RunSimBench()
+		if err := rep.WriteJSON(*simbench); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := bench.Suite{Quick: *quick}
 	runners := map[string]func() (*bench.Table, error){

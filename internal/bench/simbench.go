@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// SimBenchEntry is one simulator microbenchmark result. All per-round
+// figures come from testing.Benchmark over the steady-state engine loop
+// (one benchmark iteration = one full synchronous round).
+type SimBenchEntry struct {
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	Delta          int     `json:"delta"`
+	Rounds         int     `json:"rounds"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	WiresPerSec    float64 `json:"wires_per_sec"`
+}
+
+// SimBenchReport is the machine-readable BENCH_sim.json payload. Future
+// PRs append fresh snapshots to track the engine's throughput trajectory.
+type SimBenchReport struct {
+	Schema  string          `json:"schema"`
+	Date    string          `json:"date"`
+	GoOS    string          `json:"goos"`
+	GoArch  string          `json:"goarch"`
+	CPUs    int             `json:"cpus"`
+	Entries []SimBenchEntry `json:"benchmarks"`
+}
+
+// simBenchCase is a broadcast-heavy engine workload in the E6 regime:
+// every node broadcasts one message per round, so one round puts n·Δ wires
+// through the encode/route/deliver path.
+type simBenchCase struct {
+	name  string
+	n     int
+	delta int
+}
+
+var simBenchCases = []simBenchCase{
+	{"routing/delta=8", 4096, 8},
+	{"routing/delta=64", 2048, 64},
+	{"routing/delta=128", 2048, 128},
+}
+
+// benchFlood is the minimum-id flood protocol, the standard broadcast
+// workload for engine benchmarks (every node broadcasts a varint per
+// round).
+type benchFlood struct {
+	min []int64
+}
+
+func (a *benchFlood) Outbox(v int, out *sim.Outbox) {
+	out.Broadcast(sim.VarintPayload{Value: uint64(a.min[v])})
+}
+
+func (a *benchFlood) Inbox(v int, in []sim.Received) {
+	for _, m := range in {
+		if got := int64(m.Payload.(sim.VarintPayload).Value); got < a.min[v] {
+			a.min[v] = got
+		}
+	}
+}
+
+func (a *benchFlood) Done() bool { return false }
+
+// roundBudget drives an inner algorithm for exactly `rounds` rounds.
+type roundBudget struct {
+	sim.Algorithm
+	rounds, polled int
+}
+
+func (r *roundBudget) Done() bool {
+	r.polled++
+	return r.polled > r.rounds
+}
+
+// RunSimBench executes the simulator microbenchmarks and returns the
+// report. The engine and algorithm are constructed once per case and
+// reused across all benchmark iterations, so the figures reflect
+// steady-state rounds rather than setup cost.
+func RunSimBench() SimBenchReport {
+	rep := SimBenchReport{
+		Schema: "ldc-sim-bench/v1",
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	for _, c := range simBenchCases {
+		g := graph.RandomRegular(c.n, c.delta, 1)
+		e := sim.NewEngine(g)
+		a := &benchFlood{min: make([]int64, c.n)}
+		for v := range a.min {
+			a.min[v] = int64(v)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if _, err := e.Run(&roundBudget{Algorithm: a, rounds: b.N}, b.N+1); err != nil {
+				b.Fatal(err)
+			}
+		})
+		wires := float64(c.n * c.delta)
+		rep.Entries = append(rep.Entries, SimBenchEntry{
+			Name:           c.name,
+			N:              c.n,
+			Delta:          c.delta,
+			Rounds:         r.N,
+			NsPerRound:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerRound:  float64(r.MemBytes) / float64(r.N),
+			AllocsPerRound: float64(r.MemAllocs) / float64(r.N),
+			WiresPerSec:    wires / (float64(r.T.Nanoseconds()) / float64(r.N)) * 1e9,
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path, or to stdout when path is "-".
+func (rep SimBenchReport) WriteJSON(path string) error {
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("simbench: encode: %w", err)
+	}
+	return nil
+}

@@ -26,6 +26,14 @@ func NewWriter() *Writer { return &Writer{} }
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.nbit }
 
+// Reset empties the Writer for reuse, retaining the underlying buffer so
+// that pooled Writers (e.g. the simulator's per-round accounting) write
+// without allocating in the steady state.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
 // Bytes returns the accumulated bits packed MSB-first into bytes.
 func (w *Writer) Bytes() []byte { return w.buf }
 

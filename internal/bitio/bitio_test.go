@@ -163,3 +163,26 @@ func TestReadPastEndPanics(t *testing.T) {
 	}()
 	NewReader(nil, 0).ReadBit()
 }
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteUint(0xAB, 8)
+	w.WriteVarint(1234)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.WriteUint(5, 3)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if r.ReadUint(3) != 5 {
+		t.Fatal("stale bits survived Reset")
+	}
+	// The buffer must be retained (no realloc) for pooled reuse.
+	w.Reset()
+	if cap(w.buf) == 0 {
+		t.Fatal("Reset discarded the buffer")
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"sync"
+)
+
+// writerPool recycles bitio.Writers across rounds and engines so that
+// steady-state bit accounting is allocation-free.
+var writerPool = sync.Pool{New: func() any { return bitio.NewWriter() }}
+
+// router is the per-Run scratch state of the parallel routing phase. All
+// slices are reused across rounds; a Run allocates once and then routes in
+// the steady state without touching the heap.
+//
+// Layout: senders are partitioned into P contiguous shards. Pass 1
+// (countShard) encodes and accounts each shard's messages into a private
+// shardState and counts messages per receiver. A serial prefix sum then
+// lays out a flat []Received arena in CSR style — receiver u's inbox is
+// arena[start[u]:start[u+1]], subdivided into one block per shard in shard
+// order. Pass 2 (fillShard) writes each shard's messages into its blocks.
+// Because shards cover increasing sender ranges and each shard iterates its
+// senders in increasing order, every inbox comes out sorted by sender id
+// with same-sender messages in send-call order, exactly matching the serial
+// engine's contract.
+type router struct {
+	e      *Engine
+	bounds []int        // shard sender boundaries, len P+1
+	shards []shardState // per-shard accounting and cursors
+	start  []int32      // receiver inbox offsets into arena, len n+1
+	arena  []Received   // all messages of the current round
+}
+
+// shardState is one routing worker's private state. Merging its accounting
+// fields into Stats uses only sums and maxes, so the merged Stats are
+// bit-identical for every shard count (and hence every SetWorkers value).
+type shardState struct {
+	messages  int64
+	totalBits int64
+	roundMax  int
+	bwErr     *ErrBandwidth // first in-shard bandwidth violation, wire order
+	drops     []bool        // Fault decisions in wire order (Fault != nil only)
+	counts    []int32       // per-receiver message count for this shard
+	cursor    []int32       // per-receiver write position during fillShard
+}
+
+func newRouter(e *Engine, n int) *router {
+	p := e.workers
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	chunk := (n + p - 1) / p
+	rt := &router{e: e, shards: make([]shardState, p), start: make([]int32, n+1)}
+	for i := 0; i <= p; i++ {
+		hi := i * chunk
+		if hi > n {
+			hi = n
+		}
+		rt.bounds = append(rt.bounds, hi)
+	}
+	for i := range rt.shards {
+		rt.shards[i].counts = make([]int32, n)
+		rt.shards[i].cursor = make([]int32, n)
+	}
+	return rt
+}
+
+// route runs the two-pass counting sort for one round: encode + account +
+// count in parallel, prefix-sum the arena layout, then place messages in
+// parallel. It returns the number of delivered messages and the round's
+// maximum message size. On a bandwidth violation it returns the
+// deterministic first violation in global (sender, send-call) order, with
+// the round's complete accounting already merged into stats.
+func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered int64, roundMax int, err error) {
+	e := rt.e
+	n := len(outboxes)
+	p := len(rt.shards)
+
+	// Pass 1: per-shard encode, account, count.
+	e.parallel(p, func(s int) { rt.countShard(round, s, outboxes) })
+
+	// Merge shard accounting. Sums and maxes only: order-independent.
+	var bwErr *ErrBandwidth
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		delivered += sh.messages
+		stats.Messages += sh.messages
+		stats.TotalBits += sh.totalBits
+		if sh.roundMax > roundMax {
+			roundMax = sh.roundMax
+		}
+		// Shards cover increasing sender ranges, so the first shard with a
+		// violation holds the globally first violating wire.
+		if sh.bwErr != nil && bwErr == nil {
+			bwErr = sh.bwErr
+		}
+	}
+	if roundMax > stats.MaxMessageBits {
+		stats.MaxMessageBits = roundMax
+	}
+	if bwErr != nil {
+		return delivered, roundMax, bwErr
+	}
+
+	// Arena layout: receiver-major, shard-minor prefix sum.
+	pos := int32(0)
+	for u := 0; u < n; u++ {
+		rt.start[u] = pos
+		for s := 0; s < p; s++ {
+			sh := &rt.shards[s]
+			sh.cursor[u] = pos
+			pos += sh.counts[u]
+		}
+	}
+	rt.start[n] = pos
+	if cap(rt.arena) < int(pos) {
+		rt.arena = make([]Received, pos)
+	} else {
+		rt.arena = rt.arena[:pos]
+	}
+
+	// Pass 2: place messages. Shards write disjoint index ranges.
+	e.parallel(p, func(s int) { rt.fillShard(s, outboxes) })
+	return delivered, roundMax, nil
+}
+
+// inbox returns receiver v's slice of the current round's arena.
+func (rt *router) inbox(v int) []Received {
+	return rt.arena[rt.start[v]:rt.start[v+1]]
+}
+
+// countShard encodes, accounts, and counts shard s's messages. Each
+// distinct send entry is encoded exactly once — a broadcast costs one
+// EncodeBits regardless of degree — while accounting still charges every
+// wire. Fault is consulted exactly once per wire; the decisions are
+// recorded so fillShard replays them without calling Fault again.
+func (rt *router) countShard(round, s int, outboxes []Outbox) {
+	e := rt.e
+	sh := &rt.shards[s]
+	for i := range sh.counts {
+		sh.counts[i] = 0
+	}
+	sh.messages, sh.totalBits, sh.roundMax, sh.bwErr = 0, 0, 0, nil
+	sh.drops = sh.drops[:0]
+	var w *bitio.Writer
+	if e.CountBits {
+		w = writerPool.Get().(*bitio.Writer)
+		defer writerPool.Put(w)
+	}
+	useFault := e.Fault != nil
+	for v := rt.bounds[s]; v < rt.bounds[s+1]; v++ {
+		ob := &outboxes[v]
+		for _, sd := range ob.sends {
+			bits := 0
+			if e.CountBits {
+				w.Reset()
+				sd.payload.EncodeBits(w)
+				bits = w.Len()
+			}
+			if sd.to == broadcastTo {
+				for _, u := range ob.neighbors {
+					if useFault {
+						drop := e.Fault(round, v, int(u))
+						sh.drops = append(sh.drops, drop)
+						if drop {
+							continue
+						}
+					}
+					sh.account(e, round, v, int(u), bits)
+					sh.counts[u]++
+				}
+			} else {
+				if useFault {
+					drop := e.Fault(round, v, int(sd.to))
+					sh.drops = append(sh.drops, drop)
+					if drop {
+						continue
+					}
+				}
+				sh.account(e, round, v, int(sd.to), bits)
+				sh.counts[sd.to]++
+			}
+		}
+	}
+}
+
+// account charges one wire carrying `bits` bits from v to u.
+func (sh *shardState) account(e *Engine, round, v, u, bits int) {
+	sh.messages++
+	if !e.CountBits {
+		return
+	}
+	sh.totalBits += int64(bits)
+	if bits > sh.roundMax {
+		sh.roundMax = bits
+	}
+	if e.Bandwidth > 0 && bits > e.Bandwidth && sh.bwErr == nil {
+		sh.bwErr = &ErrBandwidth{Round: round, From: v, To: u, Bits: bits, Limit: e.Bandwidth}
+	}
+}
+
+// fillShard writes shard s's messages into the arena at the positions laid
+// out by route's prefix sum, replaying the Fault decisions from countShard.
+func (rt *router) fillShard(s int, outboxes []Outbox) {
+	sh := &rt.shards[s]
+	useFault := rt.e.Fault != nil
+	di := 0
+	for v := rt.bounds[s]; v < rt.bounds[s+1]; v++ {
+		ob := &outboxes[v]
+		for _, sd := range ob.sends {
+			if sd.to == broadcastTo {
+				for _, u := range ob.neighbors {
+					if useFault {
+						drop := sh.drops[di]
+						di++
+						if drop {
+							continue
+						}
+					}
+					rt.arena[sh.cursor[u]] = Received{From: v, Payload: sd.payload}
+					sh.cursor[u]++
+				}
+			} else {
+				if useFault {
+					drop := sh.drops[di]
+					di++
+					if drop {
+						continue
+					}
+				}
+				rt.arena[sh.cursor[sd.to]] = Received{From: v, Payload: sd.payload}
+				sh.cursor[sd.to]++
+			}
+		}
+	}
+}
+
+// validateSends checks every targeted send against the graph's adjacency.
+// It runs only when Engine.Validate is set, after the Outbox phase, so the
+// SendTo fast path stays branch-free.
+func (e *Engine) validateSends(round int, outboxes []Outbox) error {
+	n := len(outboxes)
+	for v := range outboxes {
+		ob := &outboxes[v]
+		for _, sd := range ob.sends {
+			if sd.to == broadcastTo {
+				continue
+			}
+			if sd.to < 0 || int(sd.to) >= n {
+				return fmt.Errorf("sim: round %d: node %d sent to out-of-range node %d", round, v, sd.to)
+			}
+			// Neighbor lists are sorted (graph invariant): binary search.
+			lo, hi := 0, len(ob.neighbors)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if ob.neighbors[mid] < sd.to {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo >= len(ob.neighbors) || ob.neighbors[lo] != sd.to {
+				return fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, v, sd.to)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes alg until Done or maxRounds, returning execution statistics.
+//
+// Each round has three phases: Outbox collection (parallel over nodes),
+// routing (parallel over sender shards, see router), and Inbox delivery
+// (parallel over nodes). If alg implements Quiescent, a round that delivers
+// no messages may terminate the run early; see Quiescent.
+func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
+	n := e.g.N()
+	var stats Stats
+	outboxes := make([]Outbox, n)
+	rt := newRouter(e, n)
+	quiescent, canQuiesce := alg.(Quiescent)
+	for round := 0; round < maxRounds; round++ {
+		if alg.Done() {
+			return stats, nil
+		}
+		// Phase 1: collect outboxes in parallel.
+		for v := 0; v < n; v++ {
+			outboxes[v] = Outbox{node: v, neighbors: e.g.Neighbors(v), sends: outboxes[v].sends[:0]}
+		}
+		e.parallel(n, func(v int) {
+			alg.Outbox(v, &outboxes[v])
+		})
+		if e.Validate {
+			if err := e.validateSends(round, outboxes); err != nil {
+				return stats, err
+			}
+		}
+		// Phase 2: sharded routing with bit accounting.
+		delivered, roundMax, err := rt.route(round, outboxes, &stats)
+		if err != nil {
+			return stats, err
+		}
+		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
+		// Phase 3: deliver in parallel. The arena is receiver-major and
+		// shard-blocks are in increasing sender order, so each inbox is
+		// sorted by sender.
+		e.parallel(n, func(v int) {
+			alg.Inbox(v, rt.inbox(v))
+		})
+		stats.Rounds++
+		if delivered == 0 && canQuiesce && quiescent.Quiesced() {
+			return stats, nil
+		}
+	}
+	if !alg.Done() {
+		return stats, fmt.Errorf("sim: algorithm did not terminate within %d rounds", maxRounds)
+	}
+	return stats, nil
+}

@@ -4,10 +4,18 @@
 //
 // Execution proceeds in synchronous rounds. In each round every node first
 // produces its outgoing messages (computed in parallel across nodes by a
-// worker pool), then the engine delivers them, then every node consumes its
-// inbox (again in parallel). The engine measures the exact bit size of every
-// message by running its bitio encoding, so CONGEST bandwidth claims are
-// checked against real encodings rather than struct sizes.
+// worker pool), then the engine routes and delivers them, then every node
+// consumes its inbox (again in parallel). The engine measures the exact bit
+// size of every message by running its bitio encoding, so CONGEST bandwidth
+// claims are checked against real encodings rather than struct sizes.
+//
+// The routing phase is itself parallel: senders are partitioned into
+// contiguous shards, each shard encodes and counts its messages into a
+// private accounting partial, and a two-pass counting sort places every
+// message into a flat per-round arena (CSR-style offsets, mirroring
+// internal/graph's adjacency layout). Broadcasts are encoded once per
+// sender per round, not once per wire; bit totals still count every wire.
+// See docs/SIMULATOR.md for the full concurrency contract.
 //
 // The per-node callbacks of an Algorithm must only touch the state of the
 // node they are invoked for (plus read-only shared configuration); the
@@ -24,7 +32,9 @@ import (
 )
 
 // Payload is a message body. EncodeBits must write the full wire encoding;
-// the engine uses it for bandwidth accounting.
+// the engine uses it for bandwidth accounting. A Payload handed to
+// Broadcast is encoded once and delivered to every neighbor, so it must not
+// be mutated after being passed to an Outbox.
 type Payload interface {
 	EncodeBits(w *bitio.Writer)
 }
@@ -48,6 +58,16 @@ type Algorithm interface {
 	Done() bool
 }
 
+// Quiescent is an optional extension of Algorithm. After any round in which
+// no message was delivered anywhere in the network (nothing sent, or every
+// message dropped by Fault), the engine calls Quiesced; returning true ends
+// the run successfully, exactly as if Done had reported termination. This
+// lets flood-style algorithms terminate as soon as the network goes silent
+// instead of burning an explicit "quiet round" protocol.
+type Quiescent interface {
+	Quiesced() bool
+}
+
 // Outbox collects one node's outgoing messages for a round.
 type Outbox struct {
 	node      int
@@ -55,19 +75,31 @@ type Outbox struct {
 	sends     []send
 }
 
+// broadcastTo marks a send entry that fans out to every neighbor of the
+// sender. Keeping the single entry in the sends list (rather than a
+// separate broadcast list) preserves the delivery order of interleaved
+// Broadcast and SendTo calls.
+const broadcastTo int32 = -1
+
 type send struct {
-	to      int32
+	to      int32 // receiver id, or broadcastTo
 	payload Payload
 }
 
-// Broadcast sends p to every neighbor of the node.
+// Broadcast sends p to every neighbor of the node. The engine encodes p
+// once and accounts its size once per wire, so broadcasting is O(1) encode
+// work regardless of degree.
 func (o *Outbox) Broadcast(p Payload) {
-	for _, u := range o.neighbors {
-		o.sends = append(o.sends, send{to: u, payload: p})
+	if len(o.neighbors) == 0 {
+		return
 	}
+	o.sends = append(o.sends, send{to: broadcastTo, payload: p})
 }
 
-// SendTo sends p to the specific neighbor u; u must be adjacent.
+// SendTo sends p to the specific neighbor u; u must be adjacent to the
+// node. The fast path does not check adjacency; set Engine.Validate to make
+// the engine verify every targeted send against the graph and fail the run
+// with a descriptive error on a violation.
 func (o *Outbox) SendTo(u int, p Payload) {
 	o.sends = append(o.sends, send{to: int32(u), payload: p})
 }
@@ -104,12 +136,19 @@ type Engine struct {
 	// CountBits disables encoding-based accounting when false (useful for
 	// micro-benchmarks where encoding dominates).
 	CountBits bool
+	// Validate, when true, makes the engine check every SendTo target
+	// against the graph's adjacency before routing and fail the run on a
+	// violation. The check runs outside the Outbox fast path, so leaving
+	// it off costs nothing per send.
+	Validate bool
 	// Fault, when non-nil, adversarially drops messages: a message from
 	// `from` to `to` in `round` is discarded when Fault returns true. The
 	// algorithms in this repository assume the fault-free synchronous
 	// model, so Fault exists for failure-injection tests that verify the
 	// validators catch corrupted executions instead of passing them
-	// silently.
+	// silently. Fault is invoked exactly once per wire per round, from the
+	// routing workers: it must be safe for concurrent use and should
+	// depend only on its arguments.
 	Fault func(round, from, to int) bool
 }
 
@@ -120,6 +159,8 @@ func NewEngine(g *graph.Graph) *Engine {
 
 // SetWorkers overrides the worker-pool size (1 forces fully sequential
 // execution; useful to pin down scheduling-independent behavior in tests).
+// Stats are identical for every worker count: per-shard accounting merges
+// with order-independent operations only.
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -140,82 +181,6 @@ type ErrBandwidth struct {
 func (e *ErrBandwidth) Error() string {
 	return fmt.Sprintf("sim: round %d message %d->%d is %d bits, exceeds bandwidth %d",
 		e.Round, e.From, e.To, e.Bits, e.Limit)
-}
-
-// Run executes alg until Done or maxRounds, returning execution statistics.
-func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
-	n := e.g.N()
-	var stats Stats
-	outboxes := make([]Outbox, n)
-	inboxes := make([][]Received, n)
-	inCounts := make([]int, n)
-	for round := 0; round < maxRounds; round++ {
-		if alg.Done() {
-			return stats, nil
-		}
-		// Phase 1: collect outboxes in parallel.
-		for v := 0; v < n; v++ {
-			outboxes[v] = Outbox{node: v, neighbors: e.g.Neighbors(v), sends: outboxes[v].sends[:0]}
-		}
-		e.parallel(n, func(v int) {
-			alg.Outbox(v, &outboxes[v])
-		})
-		// Phase 2: size accounting and routing (serial; cheap).
-		roundMax := 0
-		for v := 0; v < n; v++ {
-			inCounts[v] = 0
-		}
-		for v := 0; v < n; v++ {
-			for _, s := range outboxes[v].sends {
-				inCounts[s.to]++
-			}
-		}
-		anyMessage := false
-		for v := 0; v < n; v++ {
-			if cap(inboxes[v]) < inCounts[v] {
-				inboxes[v] = make([]Received, 0, inCounts[v])
-			} else {
-				inboxes[v] = inboxes[v][:0]
-			}
-		}
-		for v := 0; v < n; v++ {
-			for _, s := range outboxes[v].sends {
-				if e.Fault != nil && e.Fault(round, v, int(s.to)) {
-					continue
-				}
-				anyMessage = true
-				stats.Messages++
-				if e.CountBits {
-					w := bitio.NewWriter()
-					s.payload.EncodeBits(w)
-					bits := w.Len()
-					stats.TotalBits += int64(bits)
-					if bits > roundMax {
-						roundMax = bits
-					}
-					if bits > stats.MaxMessageBits {
-						stats.MaxMessageBits = bits
-					}
-					if e.Bandwidth > 0 && bits > e.Bandwidth {
-						return stats, &ErrBandwidth{Round: round, From: v, To: int(s.to), Bits: bits, Limit: e.Bandwidth}
-					}
-				}
-				inboxes[s.to] = append(inboxes[s.to], Received{From: v, Payload: s.payload})
-			}
-		}
-		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
-		// Phase 3: deliver in parallel. Senders iterate in id order, so
-		// each inbox is already sorted by sender.
-		e.parallel(n, func(v int) {
-			alg.Inbox(v, inboxes[v])
-		})
-		stats.Rounds++
-		_ = anyMessage
-	}
-	if !alg.Done() {
-		return stats, fmt.Errorf("sim: algorithm did not terminate within %d rounds", maxRounds)
-	}
-	return stats, nil
 }
 
 // parallel runs f(v) for v in [0, n) on the worker pool.
