@@ -23,12 +23,21 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	simbench := flag.String("simbench", "", "run the simulator microbenchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
+	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	flag.Parse()
 
 	if *simbench != "" {
 		rep := bench.RunSimBench()
 		if err := rep.WriteJSON(*simbench); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *algbench != "" {
+		rep := bench.RunAlgBench()
+		if err := rep.WriteJSON(*algbench); err != nil {
+			fmt.Fprintf(os.Stderr, "algbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/oldc"
+	"repro/internal/sim"
+)
+
+// AlgBenchEntry is one algorithm-layer benchmark result: a full oldc.Solve
+// invocation (γ-class selection + two-phase algorithm) on a fixed random
+// regular instance. Per-solve figures come from testing.Benchmark, so one
+// benchmark iteration is one complete validated solve.
+type AlgBenchEntry struct {
+	Name          string  `json:"name"`
+	N             int     `json:"n"`
+	Delta         int     `json:"delta"`
+	Rounds        int     `json:"rounds"`
+	Iters         int     `json:"iters"`
+	NsPerSolve    float64 `json:"ns_per_solve"`
+	BytesPerSolve float64 `json:"bytes_per_solve"`
+	AllocsPerOp   float64 `json:"allocs_per_solve"`
+	NodesPerSec   float64 `json:"nodes_per_sec"`
+}
+
+// AlgBenchReport is the machine-readable BENCH_oldc.json payload, the
+// algorithm-layer sibling of SimBenchReport (schema ldc-oldc-bench/v1).
+// Future PRs append fresh snapshots to track the compute-phase trajectory.
+type AlgBenchReport struct {
+	Schema  string          `json:"schema"`
+	Date    string          `json:"date"`
+	GoOS    string          `json:"goos"`
+	GoArch  string          `json:"goarch"`
+	CPUs    int             `json:"cpus"`
+	Entries []AlgBenchEntry `json:"benchmarks"`
+}
+
+// algBenchCase is a Theorem 1.1 solve workload: a random Δ-regular graph
+// with square-sum lists, identity initial coloring (m = n). Space and κ
+// grow with Δ so every case solves validly under cover.Practical().
+type algBenchCase struct {
+	name  string
+	n     int
+	delta int
+	space int
+	kappa float64
+}
+
+var algBenchCases = []algBenchCase{
+	{"solve/delta=8", 2048, 8, 1 << 12, 5.0},
+	{"solve/delta=64", 1024, 64, 1 << 14, 6.0},
+	{"solve/delta=128", 1024, 128, 1 << 15, 6.0},
+}
+
+// algBenchInput builds the deterministic instance for one case.
+func algBenchInput(c algBenchCase) (oldc.Input, *sim.Engine) {
+	g := graph.RandomRegular(c.n, c.delta, 1)
+	o := graph.OrientByID(g)
+	eng := sim.NewEngine(g)
+	init := make([]int, c.n)
+	for v := range init {
+		init[v] = v
+	}
+	inst := coloring.SquareSumOriented(o, c.space, c.kappa, 3, 7)
+	return oldc.Input{O: o, SpaceSize: c.space, Lists: inst.Lists, InitColors: init, M: c.n}, eng
+}
+
+// RunAlgBench executes the OLDC compute-phase benchmarks and returns the
+// report. The instance and engine are constructed once per case; each
+// benchmark iteration runs oldc.Solve end to end (including validation),
+// so the figures capture the per-node compute hot path the family cache
+// and bitset kernels target.
+func RunAlgBench() AlgBenchReport {
+	rep := AlgBenchReport{
+		Schema: "ldc-oldc-bench/v1",
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	for _, c := range algBenchCases {
+		in, eng := algBenchInput(c)
+		rounds := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := oldc.Solve(eng, in, oldc.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = stats.Rounds
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		rep.Entries = append(rep.Entries, AlgBenchEntry{
+			Name:          c.name,
+			N:             c.n,
+			Delta:         c.delta,
+			Rounds:        rounds,
+			Iters:         r.N,
+			NsPerSolve:    ns,
+			BytesPerSolve: float64(r.MemBytes) / float64(r.N),
+			AllocsPerOp:   float64(r.MemAllocs) / float64(r.N),
+			NodesPerSec:   float64(c.n) / ns * 1e9,
+		})
+	}
+	return rep
+}

@@ -126,7 +126,12 @@ func RunSimBench() SimBenchReport {
 }
 
 // WriteJSON writes the report to path, or to stdout when path is "-".
-func (rep SimBenchReport) WriteJSON(path string) error {
+func (rep SimBenchReport) WriteJSON(path string) error { return writeBenchJSON(path, rep) }
+
+// WriteJSON writes the report to path, or to stdout when path is "-".
+func (rep AlgBenchReport) WriteJSON(path string) error { return writeBenchJSON(path, rep) }
+
+func writeBenchJSON(path string, rep any) error {
 	var out io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -139,7 +144,7 @@ func (rep SimBenchReport) WriteJSON(path string) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		return fmt.Errorf("simbench: encode: %w", err)
+		return fmt.Errorf("bench: encode report: %w", err)
 	}
 	return nil
 }

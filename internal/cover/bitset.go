@@ -1,0 +1,195 @@
+package cover
+
+import "math/bits"
+
+// ColorSet is a packed bitset over the color space: word i bit b is set iff
+// color 64·i+b is in the set. It is the compute-kernel representation of a
+// candidate set: the sorted-slice functions (MuG, ConflictWeight,
+// TauGConflict, PsiCount) remain the reference implementation, and the
+// ColorSet kernels below compute identical counts — pinned by the
+// equivalence property tests in bitset_test.go.
+//
+// All kernels assume τ ≥ 1 (the algorithms guarantee τ ≥ TauFloor ≥ 1);
+// the degenerate τ ≤ 0 corner is only defined by the reference functions.
+type ColorSet []uint64
+
+// NewColorSet packs the non-negative colors into a bitset sized to the
+// largest element.
+func NewColorSet(colors []int) ColorSet {
+	max := -1
+	for _, x := range colors {
+		if x > max {
+			max = x
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	s := make(ColorSet, max/64+1)
+	for _, x := range colors {
+		s[x>>6] |= 1 << uint(x&63)
+	}
+	return s
+}
+
+// Contains reports whether color x is in the set.
+func (s ColorSet) Contains(x int) bool {
+	if x < 0 || x >= len(s)*64 {
+		return false
+	}
+	return s[x>>6]&(1<<uint(x&63)) != 0
+}
+
+// Count returns the number of colors in the set.
+func (s ColorSet) Count() int {
+	cnt := 0
+	for _, w := range s {
+		cnt += bits.OnesCount64(w)
+	}
+	return cnt
+}
+
+// MuG returns μ_g(x, s) = |{c ∈ s : |x − c| ≤ g}|: the popcount of the
+// window [x−g, x+g], masked at both ends.
+func (s ColorSet) MuG(x, g int) int {
+	lo, hi := x-g, x+g
+	if lo < 0 {
+		lo = 0
+	}
+	if limit := len(s)*64 - 1; hi > limit {
+		hi = limit
+	}
+	if lo > hi {
+		return 0
+	}
+	wl, wh := lo>>6, hi>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-hi&63)
+	if wl == wh {
+		return bits.OnesCount64(s[wl] & loMask & hiMask)
+	}
+	cnt := bits.OnesCount64(s[wl] & loMask)
+	for w := wl + 1; w < wh; w++ {
+		cnt += bits.OnesCount64(s[w])
+	}
+	return cnt + bits.OnesCount64(s[wh]&hiMask)
+}
+
+// IntersectCount returns |s ∩ t| by AND+popcount over the common words.
+func (s ColorSet) IntersectCount(t ColorSet) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	cnt := 0
+	for i := 0; i < n; i++ {
+		cnt += bits.OnesCount64(s[i] & t[i])
+	}
+	return cnt
+}
+
+// ShiftedIntersectCount returns |{x : x ∈ a, x−d ∈ b}| — the size of the
+// intersection of a with b shifted up by d (d may be negative). It is the
+// gap-g building block: ConflictWeight(a, b, g) = Σ_{d=−g..g} of it.
+func ShiftedIntersectCount(a, b ColorSet, d int) int {
+	if d < 0 {
+		// x ∈ a ∧ x−d ∈ b  ⇔  y ∈ b ∧ y−(−d) ∈ a  with y = x−d.
+		return ShiftedIntersectCount(b, a, -d)
+	}
+	q, r := d>>6, uint(d&63)
+	cnt := 0
+	// Word i of (b shifted up by d) is (b[i−q] << r) | (b[i−q−1] >> (64−r));
+	// j == len(b) still carries the top bits of b's last word.
+	for i := q; i < len(a); i++ {
+		j := i - q
+		if j > len(b) {
+			break
+		}
+		var w uint64
+		if j < len(b) {
+			w = b[j] << r
+		}
+		if r > 0 && j > 0 {
+			w |= b[j-1] >> (64 - r)
+		}
+		cnt += bits.OnesCount64(a[i] & w)
+	}
+	return cnt
+}
+
+// ConflictWeight returns Σ_{x∈a} μ_g(x, b) as a sum of shifted-window
+// intersections; it matches ConflictWeight on the slice forms of a and b.
+func (a ColorSet) ConflictWeight(b ColorSet, g int) int {
+	if g == 0 {
+		return a.IntersectCount(b)
+	}
+	w := 0
+	for d := -g; d <= g; d++ {
+		w += ShiftedIntersectCount(a, b, d)
+	}
+	return w
+}
+
+// TauGConflict reports whether a and b τ&g-conflict (τ ≥ 1), with per-word
+// early exit on the g = 0 AND+popcount path.
+func (a ColorSet) TauGConflict(b ColorSet, tau, g int) bool {
+	if g == 0 {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if cnt += bits.OnesCount64(a[i] & b[i]); cnt >= tau {
+				return true
+			}
+		}
+		return false
+	}
+	w := 0
+	for d := -g; d <= g; d++ {
+		if w += ShiftedIntersectCount(a, b, d); w >= tau {
+			return true
+		}
+	}
+	return false
+}
+
+// TauGConflictSet is the hybrid kernel the algorithms' hot path uses when
+// one side is already a sorted slice: it walks the (small) slice and probes
+// the bitset, so the cost is O(|c|·(g/64+1)) instead of O(words). The
+// result equals TauGConflict(c, slice(b), tau, g) for τ ≥ 1.
+func TauGConflictSet(c []int, b ColorSet, tau, g int) bool {
+	w := 0
+	if g == 0 {
+		for _, x := range c {
+			if b.Contains(x) {
+				if w++; w >= tau {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, x := range c {
+		if w += b.MuG(x, g); w >= tau {
+			return true
+		}
+	}
+	return false
+}
+
+// PsiCountSets returns the number of sets of k1 that τ&g-conflict with some
+// set of k2, on the ColorSet representation (the bitset form of PsiCount).
+func PsiCountSets(k1, k2 []ColorSet, tau, g int) int {
+	cnt := 0
+	for _, c := range k1 {
+		for _, c2 := range k2 {
+			if c.TauGConflict(c2, tau, g) {
+				cnt++
+				break
+			}
+		}
+	}
+	return cnt
+}

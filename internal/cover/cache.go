@@ -1,0 +1,79 @@
+package cover
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// CachedFamily is a candidate family in both kernel representations: the
+// sorted-slice sets that Family derives (the wire/reference form) and their
+// packed ColorSet counterparts for the conflict kernels. Both slices are
+// index-aligned and must be treated as immutable — entries are shared
+// across every node (and every worker goroutine) of a run.
+type CachedFamily struct {
+	Sets [][]int
+	Bits []ColorSet
+}
+
+// NewCachedFamily derives the family of the type (Family) and packs each
+// set; it is the uncached constructor behind FamilyCache.
+func NewCachedFamily(t Type) *CachedFamily {
+	sets := Family(t)
+	bits := make([]ColorSet, len(sets))
+	for i, s := range sets {
+		bits[i] = NewColorSet(s)
+	}
+	return &CachedFamily{Sets: sets, Bits: bits}
+}
+
+// FamilyCache memoizes Family derivations by Type. The paper's Lemma 3.6
+// encoding has every node re-derive each neighbor's family from its type
+// once per neighbor per round; since the family is a pure deterministic
+// function of the type, a run needs each distinct type derived exactly
+// once. The cache is safe for concurrent use from the engine's parallel
+// Inbox/Outbox callbacks; a racing duplicate derivation is harmless
+// because both goroutines compute identical values and one wins
+// LoadOrStore, so results are independent of worker count.
+type FamilyCache struct {
+	m sync.Map // string type key → *CachedFamily
+}
+
+// NewFamilyCache returns an empty cache.
+func NewFamilyCache() *FamilyCache { return &FamilyCache{} }
+
+// Get returns the family of t, deriving and inserting it on first use.
+func (c *FamilyCache) Get(t Type) *CachedFamily {
+	key := typeKey(t)
+	if v, ok := c.m.Load(key); ok {
+		return v.(*CachedFamily)
+	}
+	v, _ := c.m.LoadOrStore(key, NewCachedFamily(t))
+	return v.(*CachedFamily)
+}
+
+// Len returns the number of distinct types derived so far.
+func (c *FamilyCache) Len() int {
+	n := 0
+	c.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// typeKey encodes the type injectively as a string map key. All fields are
+// bounded by the color space / node count, so fixed 32-bit little-endian
+// words with a length prefix are collision-free.
+func typeKey(t Type) string {
+	b := make([]byte, 0, 16+4*len(t.List))
+	var w [4]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint32(w[:], uint32(x))
+		b = append(b, w[:]...)
+	}
+	put(t.InitColor)
+	put(t.SetSize)
+	put(t.NumSets)
+	put(len(t.List))
+	for _, x := range t.List {
+		put(x)
+	}
+	return string(b)
+}

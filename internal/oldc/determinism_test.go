@@ -71,3 +71,73 @@ func identityColoring(g *graph.Graph) ([]int, int) {
 	}
 	return ids, g.N()
 }
+
+// TestFamilyCacheDeterminism pins the memoization cache to the uncached
+// derivation: the same coloring and Stats must come out with the cache on
+// and off, for every worker count — i.e. neither the sync.Map nor the
+// parallel Inbox interleaving may leak into outputs.
+func TestFamilyCacheDeterminism(t *testing.T) {
+	g := graph.RandomRegular(40, 8, 81)
+	o := graph.OrientByID(g)
+	type result struct {
+		phi   coloring.Assignment
+		stats sim.Stats
+	}
+	run := func(workers int, noCache bool) result {
+		in, eng := prepareInput(t, o, 1<<12, 5.0, 2, 83)
+		if workers > 0 {
+			eng.SetWorkers(workers)
+		}
+		phi, stats, err := Solve(eng, in, Options{NoFamilyCache: noCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{phi, stats}
+	}
+	want := run(1, true) // uncached serial run is the baseline
+	for _, workers := range []int{1, 2, 4, 0} {
+		for _, noCache := range []bool{false, true} {
+			got := run(workers, noCache)
+			for v := range want.phi {
+				if want.phi[v] != got.phi[v] {
+					t.Fatalf("workers=%d noCache=%v: color diverges at node %d", workers, noCache, v)
+				}
+			}
+			if want.stats.Messages != got.stats.Messages || want.stats.TotalBits != got.stats.TotalBits ||
+				want.stats.Rounds != got.stats.Rounds {
+				t.Fatalf("workers=%d noCache=%v: stats diverge: want %+v got %+v",
+					workers, noCache, want.stats, got.stats)
+			}
+		}
+	}
+}
+
+// TestFamilyCacheDeterminismMulti covers the basic algorithm (SolveMulti)
+// with a nonzero gap, where families flow through the shifted-window
+// kernels.
+func TestFamilyCacheDeterminismMulti(t *testing.T) {
+	g := graph.RandomRegular(36, 6, 91)
+	o := graph.OrientByID(g)
+	run := func(workers int, noCache bool) coloring.Assignment {
+		in, eng := prepareInput(t, o, 1<<12, 5.0, 2, 93)
+		if workers > 0 {
+			eng.SetWorkers(workers)
+		}
+		phi, _, err := SolveMulti(eng, in, Options{Gap: 1, SkipValidate: true, NoFamilyCache: noCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phi
+	}
+	want := run(1, true)
+	for _, workers := range []int{1, 4, 0} {
+		for _, noCache := range []bool{false, true} {
+			got := run(workers, noCache)
+			for v := range want {
+				if want[v] != got[v] {
+					t.Fatalf("workers=%d noCache=%v: color diverges at node %d", workers, noCache, v)
+				}
+			}
+		}
+	}
+}

@@ -71,7 +71,7 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 			gAux++
 		}
 		auxIn := Input{O: o, SpaceSize: h, Lists: auxLists, InitColors: in.InitColors, M: in.M}
-		auxPhi, auxStats, err := SolveMulti(eng, auxIn, Options{Params: pr, Gap: gAux, SkipValidate: true})
+		auxPhi, auxStats, err := SolveMulti(eng, auxIn, Options{Params: pr, Gap: gAux, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache})
 		total = total.Add(auxStats)
 		if err != nil {
 			return nil, total, fmt.Errorf("oldc: γ-class selection failed: %w", err)
@@ -95,6 +95,7 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 		tau:        tau,
 		kprime:     kprime,
 		pr:         pr,
+		noCache:    opts.NoFamilyCache,
 	}
 	for v := 0; v < n; v++ {
 		list, d := sel[v].listForClass(classes[v])
@@ -315,15 +316,25 @@ func sortInts(a []int) {
 //
 // Nodes of class i remove colors occurring in more than d_v/4 lower-class
 // candidate sets before deriving their own candidate family.
+//
+// Like basicAlg, per-neighbor state is flat and indexed by out-neighbor
+// position (outCSR), and families flow through the shared cover.FamilyCache
+// with packed ColorSet forms for the conflict kernels.
 type twoPhaseAlg struct {
 	spec    basicSpec
+	cache   *cover.FamilyCache // nil when spec.noCache
+	csr     outCSR
 	curList [][]int // list after bad-color removal (set at the class round)
-	ownK    [][][]int
+	ownK    []*cover.CachedFamily
 	cv      [][]int
+	cvIdx   []int            // index of cv in ownK, recorded by chooseCv
+	cvBits  []cover.ColorSet // packed cv for the ignore test
 
-	nbrType  []map[int]typeInfo
-	nbrCv    []map[int][]int // out-neighbor → C_u (classes ≤ own)
-	nbrColor []map[int]int   // out-neighbor → final color (higher classes)
+	nbrType   []typeInfo            // by out-neighbor position
+	nbrFam    []*cover.CachedFamily // family of the received type (nil = no type)
+	nbrCv     [][]int               // announced C_u (nil = none)
+	nbrCvBits []cover.ColorSet
+	nbrColor  []int32 // final color (−1 = none)
 
 	lowerCuCount []map[int]int // color → #lower-class C_u containing it
 
@@ -336,22 +347,31 @@ type twoPhaseAlg struct {
 
 func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 	n := spec.o.N()
+	csr := newOutCSR(spec.o)
 	a := &twoPhaseAlg{
 		spec:         spec,
+		csr:          csr,
 		curList:      make([][]int, n),
-		ownK:         make([][][]int, n),
+		ownK:         make([]*cover.CachedFamily, n),
 		cv:           make([][]int, n),
-		nbrType:      make([]map[int]typeInfo, n),
-		nbrCv:        make([]map[int][]int, n),
-		nbrColor:     make([]map[int]int, n),
+		cvIdx:        make([]int, n),
+		cvBits:       make([]cover.ColorSet, n),
+		nbrType:      make([]typeInfo, csr.arcs()),
+		nbrFam:       make([]*cover.CachedFamily, csr.arcs()),
+		nbrCv:        make([][]int, csr.arcs()),
+		nbrCvBits:    make([]cover.ColorSet, csr.arcs()),
+		nbrColor:     make([]int32, csr.arcs()),
 		lowerCuCount: make([]map[int]int, n),
 		phi:          make([]int, n),
 		pickedAt:     make([]int, n),
 	}
+	if !spec.noCache {
+		a.cache = cover.NewFamilyCache()
+	}
+	for i := range a.nbrColor {
+		a.nbrColor[i] = -1
+	}
 	for v := 0; v < n; v++ {
-		a.nbrType[v] = map[int]typeInfo{}
-		a.nbrCv[v] = map[int][]int{}
-		a.nbrColor[v] = map[int]int{}
 		a.lowerCuCount[v] = map[int]int{}
 		a.phi[v] = -1
 		a.pickedAt[v] = -1
@@ -359,14 +379,17 @@ func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 	return a
 }
 
-func (a *twoPhaseAlg) familyOf(t typeInfo) [][]int {
-	setSize := a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list))
-	return cover.Family(cover.Type{
+func (a *twoPhaseAlg) familyOf(t typeInfo) *cover.CachedFamily {
+	ty := cover.Type{
 		InitColor: t.initColor,
 		List:      t.list,
-		SetSize:   setSize,
+		SetSize:   a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list)),
 		NumSets:   a.spec.kprime,
-	})
+	}
+	if a.cache == nil {
+		return cover.NewCachedFamily(ty)
+	}
+	return a.cache.Get(ty)
 }
 
 func (a *twoPhaseAlg) Outbox(v int, out *sim.Outbox) {
@@ -392,15 +415,8 @@ func (a *twoPhaseAlg) Outbox(v int, out *sim.Outbox) {
 				colorWidth: bitio.WidthFor(a.spec.spaceSize),
 			})
 		} else {
-			// Round B: announce the chosen candidate set.
-			idx := 0
-			for i, c := range a.ownK[v] {
-				if sameSlice(c, a.cv[v]) {
-					idx = i
-					break
-				}
-			}
-			out.Broadcast(chosenSetMsg{index: idx, width: bitio.WidthFor(a.spec.kprime)})
+			// Round B: announce the chosen candidate set by its index.
+			out.Broadcast(chosenSetMsg{index: a.cvIdx[v], width: bitio.WidthFor(a.spec.kprime)})
 		}
 	default:
 		if a.pickedAt[v] == r-1 {
@@ -435,20 +451,26 @@ func (a *twoPhaseAlg) removeBadColors(v int) []int {
 func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 	h := a.spec.h
 	r := a.round
+	p, end := a.csr.off[v], a.csr.off[v+1]
 	switch {
 	case r <= 2*h:
 		class := (r + 1) / 2
 		if r%2 == 1 {
-			// Round A of class `class`: store sender types.
+			// Round A of class `class`: store sender types and derive their
+			// families (each sender announces its type exactly once).
 			for _, msg := range in {
-				if !a.spec.o.HasArc(v, msg.From) {
+				var pos int32
+				var ok bool
+				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 					continue
 				}
-				m, ok := msg.Payload.(typeMsg)
-				if !ok {
+				m, mok := msg.Payload.(typeMsg)
+				if !mok {
 					continue
 				}
-				a.nbrType[v][msg.From] = typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+				t := typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+				a.nbrType[pos] = t
+				a.nbrFam[pos] = a.familyOf(t)
 			}
 			if a.spec.gclass[v] == class {
 				// This node's own family and P1 choice against same-class
@@ -464,22 +486,24 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 		} else {
 			// Round B: reconstruct announced candidate sets.
 			for _, msg := range in {
-				if !a.spec.o.HasArc(v, msg.From) {
+				var pos int32
+				var ok bool
+				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 					continue
 				}
-				m, ok := msg.Payload.(chosenSetMsg)
-				if !ok {
+				m, mok := msg.Payload.(chosenSetMsg)
+				if !mok {
 					continue
 				}
-				t, have := a.nbrType[v][msg.From]
-				if !have {
+				fam := a.nbrFam[pos]
+				if fam == nil {
 					continue
 				}
-				ku := a.familyOf(t)
-				if m.index < len(ku) {
-					cu := ku[m.index]
-					a.nbrCv[v][msg.From] = cu
-					if t.gclass < a.spec.gclass[v] {
+				if m.index < len(fam.Sets) {
+					cu := fam.Sets[m.index]
+					a.nbrCv[pos] = cu
+					a.nbrCvBits[pos] = fam.Bits[m.index]
+					if a.nbrType[pos].gclass < a.spec.gclass[v] {
 						for _, x := range cu {
 							a.lowerCuCount[v][x]++
 						}
@@ -492,8 +516,13 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 		}
 	default:
 		for _, msg := range in {
-			if m, ok := msg.Payload.(colorMsg); ok && a.spec.o.HasArc(v, msg.From) {
-				a.nbrColor[v][msg.From] = m.color
+			var pos int32
+			var ok bool
+			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+				continue
+			}
+			if m, mok := msg.Payload.(colorMsg); mok {
+				a.nbrColor[pos] = int32(m.color)
 			}
 		}
 		cur := h - (r - (2*h + 1))
@@ -504,20 +533,20 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 }
 
 // chooseCv picks C_v ∈ K_v minimizing the number of same-class
-// out-neighbors with a τ-conflicting candidate family (Phase I).
+// out-neighbors with a τ-conflicting candidate family (Phase I),
+// recording the chosen index for the round-B announcement.
 func (a *twoPhaseAlg) chooseCv(v, class int) {
-	var fams [][][]int
-	for _, t := range a.nbrType[v] {
-		if t.gclass == class {
-			fams = append(fams, a.familyOf(t))
-		}
-	}
+	bestIdx := -1
 	bestD := math.MaxInt32
-	for _, c := range a.ownK[v] {
+	for i, c := range a.ownK[v].Sets {
 		d := 0
-		for _, fam := range fams {
-			for _, cu := range fam {
-				if cover.TauGConflict(c, cu, a.spec.tau, 0) {
+		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+			fam := a.nbrFam[p]
+			if fam == nil || a.nbrType[p].gclass != class {
+				continue
+			}
+			for _, bu := range fam.Bits {
+				if cover.TauGConflictSet(c, bu, a.spec.tau, 0) {
 					d++
 					break
 				}
@@ -525,29 +554,40 @@ func (a *twoPhaseAlg) chooseCv(v, class int) {
 		}
 		if d < bestD {
 			bestD = d
-			a.cv[v] = c
+			bestIdx = i
 		}
 	}
-	if a.cv[v] == nil {
+	if bestIdx < 0 {
 		a.cv[v] = a.curList[v]
+		a.cvIdx[v] = 0
+		a.cvBits[v] = cover.NewColorSet(a.curList[v])
+		return
 	}
+	a.cv[v] = a.ownK[v].Sets[bestIdx]
+	a.cvIdx[v] = bestIdx
+	a.cvBits[v] = a.ownK[v].Bits[bestIdx]
 }
 
 // pickColor finalizes v's color (Phase II): counts exact colors of higher
 // classes and candidate-set occurrences of non-ignored same-class
-// out-neighbors.
+// out-neighbors. The ignore test depends only on the neighbor, so it is
+// hoisted out of the per-color loop.
 func (a *twoPhaseAlg) pickColor(v int) {
 	class := a.spec.gclass[v]
+	off, end := a.csr.off[v], a.csr.off[v+1]
+	counted := make([]bool, end-off)
+	for p := off; p < end; p++ {
+		counted[p-off] = a.nbrCv[p] != nil && a.nbrType[p].gclass == class &&
+			!a.cvBits[v].TauGConflict(a.nbrCvBits[p], a.spec.tau, 0)
+	}
 	bestX, bestF := -1, math.MaxInt32
 	for _, x := range a.cv[v] {
 		f := 0
-		for u, cu := range a.nbrCv[v] {
-			if a.nbrType[v][u].gclass == class && !a.ignored(v, cu) {
-				f += cover.MuG(x, cu, 0)
+		for p := off; p < end; p++ {
+			if counted[p-off] && a.nbrCvBits[p].Contains(x) {
+				f++
 			}
-		}
-		for _, xu := range a.nbrColor[v] {
-			if xu == x {
+			if xu := a.nbrColor[p]; xu >= 0 && int(xu) == x {
 				f++
 			}
 		}
@@ -565,7 +605,8 @@ func (a *twoPhaseAlg) pickColor(v int) {
 
 // ignored reports whether a same-class out-neighbor's candidate set
 // conflicts too heavily with C_v (it is then outside N_{i,*} and accounted
-// against the d_v/4 ignore budget).
+// against the d_v/4 ignore budget). pickColor evaluates the same rule on
+// the packed cvBits form; this slice form is the documented reference.
 func (a *twoPhaseAlg) ignored(v int, cu []int) bool {
 	return cover.ConflictWeight(a.cv[v], cu, 0) >= a.spec.tau
 }

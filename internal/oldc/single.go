@@ -25,7 +25,37 @@ type basicSpec struct {
 	tau        int
 	kprime     int
 	pr         cover.Params
+	noCache    bool // disable the shared family cache (ablation/testing)
 }
+
+// outCSR is a CSR snapshot of the orientation's out-adjacency (mirroring
+// internal/graph's flat layout): positions off[v]..off[v+1] hold node v's
+// sorted out-neighbors, and all per-neighbor algorithm state is indexed by
+// that position. Inbox deliveries are sorted by sender id, so a two-pointer
+// merge against ids resolves each message's position without the per-message
+// HasArc binary search the map-based representation needed.
+type outCSR struct {
+	off []int32
+	ids []int32
+}
+
+func newOutCSR(o *graph.Oriented) outCSR {
+	n := o.N()
+	off := make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(o.Out(v))
+		off[v+1] = int32(total)
+	}
+	ids := make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		ids = append(ids, o.Out(v)...)
+	}
+	return outCSR{off: off, ids: ids}
+}
+
+// arcs returns the total number of arcs (the length of every flat array).
+func (c outCSR) arcs() int { return len(c.ids) }
 
 // basicAlg runs the basic algorithm:
 //
@@ -34,22 +64,31 @@ type basicSpec struct {
 //	round 2+k:    freshly picked colors are announced; class h−k picks
 //
 // for a total of h+1 rounds.
+//
+// Per-neighbor state lives in flat arrays indexed by out-neighbor position
+// (see outCSR); candidate families are derived once per distinct type
+// through the shared cover.FamilyCache and carry packed ColorSet forms for
+// the conflict kernels.
 type basicAlg struct {
 	spec    basicSpec
+	cache   *cover.FamilyCache // nil when spec.noCache
+	csr     outCSR
 	reslist [][]int // residue-restricted lists (Section 3.2.2)
-	ownK    [][][]int
+	ownK    []*cover.CachedFamily
 	cv      [][]int
+	cvIdx   []int // index of cv in ownK, recorded by chooseCv
 
-	nbrType  []map[int]typeInfo // per node: out-neighbor id → type
-	nbrCv    []map[int][]int    // per node: out-neighbor id → C_u
-	nbrColor []map[int]int      // per node: out-neighbor id → final color
+	nbrType   []typeInfo            // by out-neighbor position
+	nbrFam    []*cover.CachedFamily // family of the received type (nil = no type)
+	nbrCv     [][]int               // announced C_u (nil = none)
+	nbrCvBits []cover.ColorSet
+	nbrColor  []int32 // final color (−1 = none)
 
-	phi        []int
-	pickedAt   []int // round at which v picked (to broadcast once)
-	round      int
-	started    bool
-	finished   bool
-	violations []string
+	phi      []int
+	pickedAt []int // round at which v picked (to broadcast once)
+	round    int
+	started  bool
+	finished bool
 }
 
 type typeInfo struct {
@@ -61,16 +100,27 @@ type typeInfo struct {
 
 func newBasicAlg(spec basicSpec) (*basicAlg, error) {
 	n := spec.o.N()
+	csr := newOutCSR(spec.o)
 	a := &basicAlg{
-		spec:     spec,
-		reslist:  make([][]int, n),
-		ownK:     make([][][]int, n),
-		cv:       make([][]int, n),
-		nbrType:  make([]map[int]typeInfo, n),
-		nbrCv:    make([]map[int][]int, n),
-		nbrColor: make([]map[int]int, n),
-		phi:      make([]int, n),
-		pickedAt: make([]int, n),
+		spec:      spec,
+		csr:       csr,
+		reslist:   make([][]int, n),
+		ownK:      make([]*cover.CachedFamily, n),
+		cv:        make([][]int, n),
+		cvIdx:     make([]int, n),
+		nbrType:   make([]typeInfo, csr.arcs()),
+		nbrFam:    make([]*cover.CachedFamily, csr.arcs()),
+		nbrCv:     make([][]int, csr.arcs()),
+		nbrCvBits: make([]cover.ColorSet, csr.arcs()),
+		nbrColor:  make([]int32, csr.arcs()),
+		phi:       make([]int, n),
+		pickedAt:  make([]int, n),
+	}
+	if !spec.noCache {
+		a.cache = cover.NewFamilyCache()
+	}
+	for i := range a.nbrColor {
+		a.nbrColor[i] = -1
 	}
 	for v := 0; v < n; v++ {
 		if len(spec.lists[v]) == 0 {
@@ -87,26 +137,29 @@ func newBasicAlg(spec basicSpec) (*basicAlg, error) {
 			defect:    spec.defect[v],
 			list:      res,
 		})
-		a.nbrType[v] = make(map[int]typeInfo)
-		a.nbrCv[v] = make(map[int][]int)
-		a.nbrColor[v] = make(map[int]int)
 		a.phi[v] = -1
 		a.pickedAt[v] = -1
 	}
 	return a, nil
 }
 
-// familyOf re-derives the deterministic candidate family of a type. Both a
+// familyOf derives the deterministic candidate family of a type. Both a
 // node and all its neighbors run this on the same inputs, which is what
-// makes the "send the type, not the family" encoding of Lemma 3.6 work.
-func (a *basicAlg) familyOf(t typeInfo) [][]int {
-	setSize := a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list))
-	return cover.Family(cover.Type{
+// makes the "send the type, not the family" encoding of Lemma 3.6 work —
+// and what makes the derivation memoizable: the family is a pure function
+// of the type, so the shared cache collapses the once-per-(node, neighbor,
+// round) re-derivations to once per distinct type per run.
+func (a *basicAlg) familyOf(t typeInfo) *cover.CachedFamily {
+	ty := cover.Type{
 		InitColor: t.initColor,
 		List:      t.list,
-		SetSize:   setSize,
+		SetSize:   a.spec.pr.SetSize(t.gclass, a.spec.tau, len(t.list)),
 		NumSets:   a.spec.kprime,
-	})
+	}
+	if a.cache == nil {
+		return cover.NewCachedFamily(ty)
+	}
+	return a.cache.Get(ty)
 }
 
 func (a *basicAlg) typePayload(v int) typeMsg {
@@ -127,8 +180,7 @@ func (a *basicAlg) Outbox(v int, out *sim.Outbox) {
 	case a.round == 1:
 		out.Broadcast(a.typePayload(v))
 	case a.round == 2:
-		idx := a.cvIndex(v)
-		out.Broadcast(chosenSetMsg{index: idx, width: bitio.WidthFor(a.spec.kprime)})
+		out.Broadcast(chosenSetMsg{index: a.cvIdx[v], width: bitio.WidthFor(a.spec.kprime)})
 	default:
 		if a.pickedAt[v] == a.round-1 {
 			out.Broadcast(colorMsg{color: a.phi[v], width: bitio.WidthFor(a.spec.spaceSize)})
@@ -136,35 +188,44 @@ func (a *basicAlg) Outbox(v int, out *sim.Outbox) {
 	}
 }
 
-func (a *basicAlg) cvIndex(v int) int {
-	for i, c := range a.ownK[v] {
-		if sameSlice(c, a.cv[v]) {
-			return i
-		}
+// mergePos advances the position cursor to the sender's slot, exploiting
+// that both the inbox and the out-neighbor ids are sorted ascending. It
+// returns the matching position, the advanced cursor, and whether the
+// sender is an out-neighbor of the node.
+func (c outCSR) mergePos(p, end int32, from int) (int32, int32, bool) {
+	for p < end && c.ids[p] < int32(from) {
+		p++
 	}
-	return 0
+	return p, p, p < end && c.ids[p] == int32(from)
 }
 
 func (a *basicAlg) Inbox(v int, in []sim.Received) {
+	p, end := a.csr.off[v], a.csr.off[v+1]
 	switch {
 	case a.round == 1:
 		for _, msg := range in {
-			if !a.spec.o.HasArc(v, msg.From) {
+			var pos int32
+			var ok bool
+			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
 			m := msg.Payload.(typeMsg)
-			a.nbrType[v][msg.From] = typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+			t := typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
+			a.nbrType[pos] = t
+			a.nbrFam[pos] = a.familyOf(t)
 		}
 		a.chooseCv(v)
 	case a.round == 2:
 		for _, msg := range in {
-			if !a.spec.o.HasArc(v, msg.From) {
+			var pos int32
+			var ok bool
+			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
 			m := msg.Payload.(chosenSetMsg)
-			ku := a.familyOf(a.nbrType[v][msg.From])
-			if m.index < len(ku) {
-				a.nbrCv[v][msg.From] = ku[m.index]
+			if fam := a.nbrFam[pos]; fam != nil && m.index < len(fam.Sets) {
+				a.nbrCv[pos] = fam.Sets[m.index]
+				a.nbrCvBits[pos] = fam.Bits[m.index]
 			}
 		}
 		if a.spec.gclass[v] == a.spec.h {
@@ -172,8 +233,13 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 		}
 	default:
 		for _, msg := range in {
-			if m, ok := msg.Payload.(colorMsg); ok && a.spec.o.HasArc(v, msg.From) {
-				a.nbrColor[v][msg.From] = m.color
+			var pos int32
+			var ok bool
+			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+				continue
+			}
+			if m, mok := msg.Payload.(colorMsg); mok {
+				a.nbrColor[pos] = int32(m.color)
 			}
 		}
 		cur := a.spec.h - (a.round - 2)
@@ -184,23 +250,20 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 }
 
 // chooseCv solves P1 for node v: among the candidate family, pick the set
-// with the fewest τ&g-conflicting same-or-lower-class out-neighbors.
+// with the fewest τ&g-conflicting same-or-lower-class out-neighbors,
+// recording the chosen index for the round-2 announcement.
 func (a *basicAlg) chooseCv(v int) {
-	type nbrFam struct{ fam [][]int }
-	var fams []nbrFam
-	for u, t := range a.nbrType[v] {
-		if t.gclass <= a.spec.gclass[v] {
-			_ = u
-			fams = append(fams, nbrFam{fam: a.familyOf(t)})
-		}
-	}
-	best := -1
+	bestIdx := -1
 	bestD := int(^uint(0) >> 1)
-	for _, c := range a.ownK[v] {
+	for i, c := range a.ownK[v].Sets {
 		d := 0
-		for _, nf := range fams {
-			for _, cu := range nf.fam {
-				if cover.TauGConflict(c, cu, a.spec.tau, a.spec.gap) {
+		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+			fam := a.nbrFam[p]
+			if fam == nil || a.nbrType[p].gclass > a.spec.gclass[v] {
+				continue
+			}
+			for _, bu := range fam.Bits {
+				if cover.TauGConflictSet(c, bu, a.spec.tau, a.spec.gap) {
 					d++
 					break
 				}
@@ -208,14 +271,17 @@ func (a *basicAlg) chooseCv(v int) {
 		}
 		if d < bestD {
 			bestD = d
-			a.cv[v] = c
-			best = 0
+			bestIdx = i
 		}
 	}
-	if best == -1 {
+	if bestIdx < 0 {
 		// Degenerate family; fall back to the full restricted list.
 		a.cv[v] = a.reslist[v]
+		a.cvIdx[v] = 0
+		return
 	}
+	a.cv[v] = a.ownK[v].Sets[bestIdx]
+	a.cvIdx[v] = bestIdx
 }
 
 // pickColor finalizes v's color: the list color with the lowest frequency
@@ -226,13 +292,11 @@ func (a *basicAlg) pickColor(v int) {
 	bestF := int(^uint(0) >> 1)
 	for _, x := range a.cv[v] {
 		f := 0
-		for u, cu := range a.nbrCv[v] {
-			if a.nbrType[v][u].gclass <= a.spec.gclass[v] {
-				f += cover.MuG(x, cu, a.spec.gap)
+		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+			if a.nbrCv[p] != nil && a.nbrType[p].gclass <= a.spec.gclass[v] {
+				f += a.nbrCvBits[p].MuG(x, a.spec.gap)
 			}
-		}
-		for _, xu := range a.nbrColor[v] {
-			if abs(xu-x) <= a.spec.gap {
+			if xu := a.nbrColor[p]; xu >= 0 && abs(int(xu)-x) <= a.spec.gap {
 				f++
 			}
 		}

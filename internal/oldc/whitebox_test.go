@@ -132,15 +132,19 @@ func TestFamilyOfConsistency(t *testing.T) {
 	ti := typeInfo{initColor: 3, gclass: 2, defect: 1, list: a.reslist[0]}
 	k1 := a.familyOf(ti)
 	k2 := a.familyOf(ti)
-	if len(k1) == 0 || len(k1) != len(k2) {
-		t.Fatalf("family sizes %d vs %d", len(k1), len(k2))
+	if len(k1.Sets) == 0 || len(k1.Sets) != len(k2.Sets) {
+		t.Fatalf("family sizes %d vs %d", len(k1.Sets), len(k2.Sets))
 	}
-	for i := range k1 {
-		if !sameSlice(k1[i], k2[i]) {
+	for i := range k1.Sets {
+		if !sameSlice(k1.Sets[i], k2.Sets[i]) {
 			t.Fatal("family derivation not deterministic")
 		}
 	}
-	if a.ownK[0] == nil || !sameSlice(a.ownK[0][0], k1[0]) {
+	if a.ownK[0] == nil || !sameSlice(a.ownK[0].Sets[0], k1.Sets[0]) {
 		t.Fatal("own family must match the type derivation")
+	}
+	// With the cache on, both derivations must be the same memoized entry.
+	if k1 != k2 {
+		t.Fatal("cache must return the same entry for equal types")
 	}
 }
