@@ -24,6 +24,7 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	simbench := flag.String("simbench", "", "run the simulator microbenchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
+	chaosbench := flag.String("chaosbench", "", "run detect-and-repair solving under every built-in fault schedule and write machine-readable JSON to this path ('-' for stdout), then exit")
 	flag.Parse()
 
 	if *simbench != "" {
@@ -38,6 +39,14 @@ func main() {
 		rep := bench.RunAlgBench()
 		if err := rep.WriteJSON(*algbench); err != nil {
 			fmt.Fprintf(os.Stderr, "algbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosbench != "" {
+		rep := bench.RunChaosBench()
+		if err := rep.WriteJSON(*chaosbench); err != nil {
+			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -8,16 +8,20 @@
 //	ldc-run -graph gnp -n 200 -p 0.05 -algo luby -json
 //	ldc-run -graph torus -rows 8 -cols 8 -algo mis
 //	ldc-run -graph regular -n 64 -deg 8 -algo oldc -kappa 6
+//	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
+//	ldc-run -algo oldc -chaos storm -repair
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/coloring"
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -47,6 +51,18 @@ type output struct {
 	SeedUsed    int64    `json:"seed"`
 	KappaUsed   float64  `json:"kappa,omitempty"`
 
+	// Chaos-mode fields (-chaos / -repair).
+	ChaosSpec    string   `json:"chaos,omitempty"`
+	Dropped      int64    `json:"dropped,omitempty"`
+	Corrupted    int64    `json:"corrupted,omitempty"`
+	DecodeFaults int64    `json:"decode_faults,omitempty"`
+	SurvivalRate *float64 `json:"survival_rate,omitempty"`
+	InitialBad   int      `json:"initial_bad,omitempty"`
+	Repairs      int      `json:"repairs,omitempty"`
+	RepairRounds int      `json:"repair_rounds,omitempty"`
+	Fallback     int      `json:"fallback_recolorings,omitempty"`
+	ResidualBad  []int    `json:"residual_violators,omitempty"`
+
 	roundMaxBits []int // -trace timeline (not serialized)
 }
 
@@ -63,6 +79,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 		algo   = flag.String("algo", "delta1", "delta1|linear|slow|luby|greedy|mis|mis-luby|oldc")
 		kappa  = flag.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
+		spec   = flag.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
+		repair = flag.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
 		asJSON = flag.Bool("json", false, "emit the full result as JSON")
 		trace  = flag.Bool("trace", false, "print the per-round maximum message size timeline")
 	)
@@ -70,6 +88,10 @@ func main() {
 
 	g := buildGraph(*gname, *n, *deg, *p, *rows, *cols, *dim, *radius, *seed)
 	out := output{Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Algorithm: *algo, SeedUsed: *seed}
+
+	if (*spec != "" || *repair) && *algo != "oldc" {
+		log.Fatalf("-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
+	}
 
 	switch *algo {
 	case "delta1":
@@ -124,15 +146,51 @@ func main() {
 		}
 	case "oldc":
 		o := graph.OrientByID(g)
-		eng := sim.NewEngine(g)
-		init, m, _, err := linial.Proper(eng, graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
+		// The Linial substrate runs fault-free: the chaos harness targets
+		// the OLDC phase, whose decode paths are hardened against damage.
+		init, m, _, err := linial.Proper(sim.NewEngine(g), graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
 		die(err)
 		inst := coloring.SquareSumOrientedRange(o, 4096, *kappa, 1, 3, *seed)
 		in := oldc.Input{O: o, SpaceSize: 4096, Lists: inst.Lists, InitColors: init, M: m}
-		phi, stats, err := oldc.Solve(eng, in, oldc.Options{})
-		die(err)
-		fill(&out, stats, phi)
-		out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
+		var simOpts sim.Options
+		if *spec != "" {
+			model, err := resolveChaos(*spec, uint64(*seed), g)
+			die(err)
+			simOpts.Faults = model
+			out.ChaosSpec = *spec
+		}
+		eng := sim.NewEngineWith(g, simOpts)
+		var runStats sim.Stats
+		if *repair {
+			phi, rep, err := oldc.SolveRobust(eng, in, oldc.RobustOptions{})
+			var res *oldc.ErrResidual
+			if err != nil && !errors.As(err, &res) {
+				die(err)
+			}
+			fill(&out, rep.Stats, phi)
+			runStats = rep.Stats
+			out.Valid = err == nil
+			sr := rep.SurvivalRate
+			out.SurvivalRate = &sr
+			out.InitialBad = rep.InitialBad
+			out.Repairs = rep.Repairs
+			out.RepairRounds = rep.RepairRounds
+			out.Fallback = rep.FallbackNodes
+			if res != nil {
+				out.ResidualBad = res.Violators
+			}
+		} else {
+			solveOpts := oldc.Options{SkipValidate: *spec != ""} // a faulty run may legitimately violate
+			phi, stats, err := oldc.Solve(eng, in, solveOpts)
+			die(err)
+			fill(&out, stats, phi)
+			runStats = stats
+			out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
+		}
+		total := runStats.TotalFaults()
+		out.Dropped = total.Dropped
+		out.Corrupted = total.Corrupted
+		out.DecodeFaults = total.DecodeFaults
 		out.KappaUsed = *kappa
 	default:
 		log.Fatalf("unknown algorithm %q", *algo)
@@ -156,6 +214,14 @@ func main() {
 	if out.MISSize > 0 {
 		fmt.Printf("MIS size: %d\n", out.MISSize)
 	}
+	if out.ChaosSpec != "" {
+		fmt.Printf("chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
+			out.ChaosSpec, out.Dropped, out.Corrupted, out.DecodeFaults)
+	}
+	if out.SurvivalRate != nil {
+		fmt.Printf("survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
+			*out.SurvivalRate, out.InitialBad, out.Repairs, out.RepairRounds, out.Fallback, len(out.ResidualBad))
+	}
 	fmt.Printf("valid: %v\n", out.Valid)
 	if *trace && len(out.roundMaxBits) > 0 {
 		fmt.Println("round : max message bits")
@@ -166,6 +232,17 @@ func main() {
 	if !out.Valid {
 		os.Exit(1)
 	}
+}
+
+// resolveChaos interprets spec as a built-in schedule name first and a
+// chaos.Parse expression otherwise.
+func resolveChaos(spec string, seed uint64, g *graph.Graph) (sim.FaultModel, error) {
+	for _, sched := range chaos.Builtin(g, seed) {
+		if sched.Name == spec {
+			return sched.Model, nil
+		}
+	}
+	return chaos.Parse(spec, seed, g)
 }
 
 func bar(v, max int) string {

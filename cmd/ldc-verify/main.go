@@ -43,6 +43,17 @@ type doc struct {
 	Variant  string    `json:"variant"`
 }
 
+// Exit codes of run (and of the process).
+const (
+	exitValid     = 0
+	exitInvalid   = 1
+	exitMalformed = 2
+)
+
+// maxN bounds the vertex count so a hostile document can't make the tool
+// allocate unbounded per-node state before any real validation runs.
+const maxN = 1 << 21
+
 func main() {
 	file := flag.String("in", "-", "input JSON file ('-' = stdin)")
 	flag.Parse()
@@ -51,32 +62,60 @@ func main() {
 	if *file != "-" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fatal(2, "open: %v", err)
+			fmt.Fprintf(os.Stderr, "open: %v\n", err)
+			os.Exit(exitMalformed)
 		}
 		defer f.Close()
 		r = f
 	}
+	os.Exit(run(r, os.Stdout, os.Stderr))
+}
+
+// run validates one document and returns the process exit code: 0 valid,
+// 1 invalid, 2 malformed. Every malformed shape — bad JSON, out-of-range
+// or self-loop edges, mismatched array lengths — is diagnosed here rather
+// than left to panic inside the graph builder or the checkers.
+func run(r io.Reader, out, errw io.Writer) int {
+	fail := func(code int, format string, args ...interface{}) int {
+		fmt.Fprintf(errw, format+"\n", args...)
+		return code
+	}
+
 	var d doc
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		fatal(2, "parse: %v", err)
+		return fail(exitMalformed, "parse: %v", err)
 	}
 	if d.N <= 0 {
-		fatal(2, "n must be positive")
+		return fail(exitMalformed, "n must be positive")
+	}
+	if d.N > maxN {
+		return fail(exitMalformed, "n=%d exceeds the supported maximum %d", d.N, maxN)
+	}
+	for _, e := range d.Edges {
+		if e[0] == e[1] {
+			return fail(exitMalformed, "self loop at %d", e[0])
+		}
+		if e[0] < 0 || e[0] >= d.N || e[1] < 0 || e[1] >= d.N {
+			return fail(exitMalformed, "edge [%d,%d] out of range [0,%d)", e[0], e[1], d.N)
+		}
 	}
 	b := graph.NewBuilder(d.N)
 	for _, e := range d.Edges {
 		b.AddEdge(e[0], e[1])
 	}
 	g := b.Build()
-	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Fprintf(out, "graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDegree())
 
+	if d.Space < 0 {
+		return fail(exitMalformed, "space must be non-negative")
+	}
 	if d.Space == 0 {
 		d.Space = g.MaxDegree() + 1
 	}
 	var in *coloring.Instance
 	if len(d.Lists) > 0 {
 		if len(d.Lists) != d.N {
-			fatal(2, "%d lists for %d nodes", len(d.Lists), d.N)
+			return fail(exitMalformed, "%d lists for %d nodes", len(d.Lists), d.N)
 		}
 		in = &coloring.Instance{G: g, SpaceSize: d.Space, Lists: make([]coloring.NodeList, d.N)}
 		for v, l := range d.Lists {
@@ -84,20 +123,26 @@ func main() {
 			if defects == nil {
 				defects = make([]int, len(l.Colors))
 			}
+			if len(defects) != len(l.Colors) {
+				return fail(exitMalformed, "node %d: %d defects for %d colors", v, len(defects), len(l.Colors))
+			}
 			in.Lists[v] = coloring.NodeList{Colors: l.Colors, Defect: defects}
 		}
 		if err := in.Validate(); err != nil {
-			fatal(1, "instance invalid: %v", err)
+			return fail(exitInvalid, "instance invalid: %v", err)
 		}
 		s := coloring.Summarize(in)
-		fmt.Printf("instance: %s\n", s)
-		fmt.Printf("condition (1) Σ(d+1) > deg: %v; condition (2) Σ(2d+1) > deg: %v\n",
+		fmt.Fprintf(out, "instance: %s\n", s)
+		fmt.Fprintf(out, "condition (1) Σ(d+1) > deg: %v; condition (2) Σ(2d+1) > deg: %v\n",
 			s.SatisfiesLDC, s.SatisfiesArb)
 	}
 
 	if d.Coloring == nil {
-		fmt.Println("no coloring supplied — instance checks only")
-		return
+		fmt.Fprintln(out, "no coloring supplied — instance checks only")
+		return exitValid
+	}
+	if len(d.Coloring) != d.N {
+		return fail(exitMalformed, "coloring for %d nodes, graph has %d", len(d.Coloring), d.N)
 	}
 	phi := coloring.Assignment(d.Coloring)
 	variant := d.Variant
@@ -114,24 +159,20 @@ func main() {
 		err = coloring.CheckProper(g, phi, d.Space)
 	case "ldc":
 		if in == nil {
-			fatal(2, "variant ldc needs lists")
+			return fail(exitMalformed, "variant ldc needs lists")
 		}
 		err = coloring.CheckLDC(in, phi)
 	case "oldc-by-id":
 		if in == nil {
-			fatal(2, "variant oldc-by-id needs lists")
+			return fail(exitMalformed, "variant oldc-by-id needs lists")
 		}
 		err = coloring.CheckOLDC(graph.OrientByID(g), in.Lists, phi)
 	default:
-		fatal(2, "unknown variant %q", variant)
+		return fail(exitMalformed, "unknown variant %q", variant)
 	}
 	if err != nil {
-		fatal(1, "coloring INVALID: %v", err)
+		return fail(exitInvalid, "coloring INVALID: %v", err)
 	}
-	fmt.Printf("coloring valid (%s), %d colors used\n", variant, coloring.CountColors(phi))
-}
-
-func fatal(code int, format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(code)
+	fmt.Fprintf(out, "coloring valid (%s), %d colors used\n", variant, coloring.CountColors(phi))
+	return exitValid
 }

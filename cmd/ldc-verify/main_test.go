@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the documented exit-code contract: 0 = valid,
+// 1 = invalid, 2 = malformed input.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want int
+	}{
+		{"valid proper", `{"n":4,"edges":[[0,1],[1,2],[2,3]],"space":2,"coloring":[0,1,0,1]}`, 0},
+		{"valid ldc", `{"n":2,"edges":[[0,1]],"space":4,
+			"lists":[{"colors":[0,1],"defects":[0,0]},{"colors":[0,1],"defects":[0,0]}],
+			"coloring":[0,1]}`, 0},
+		{"valid oldc-by-id", `{"n":2,"edges":[[0,1]],"space":4,"variant":"oldc-by-id",
+			"lists":[{"colors":[0],"defects":[0]},{"colors":[0],"defects":[1]}],
+			"coloring":[0,0]}`, 0},
+		{"instance only", `{"n":3,"edges":[[0,1],[1,2]],"space":2,
+			"lists":[{"colors":[0]},{"colors":[1]},{"colors":[0]}]}`, 0},
+
+		{"monochromatic edge", `{"n":2,"edges":[[0,1]],"space":2,"coloring":[1,1]}`, 1},
+		{"color out of space", `{"n":2,"edges":[[0,1]],"space":2,"coloring":[0,5]}`, 1},
+		{"defect exceeded", `{"n":2,"edges":[[0,1]],"space":4,
+			"lists":[{"colors":[0],"defects":[0]},{"colors":[0],"defects":[0]}],
+			"coloring":[0,0]}`, 1},
+		{"off-list color", `{"n":2,"edges":[[0,1]],"space":4,
+			"lists":[{"colors":[0],"defects":[0]},{"colors":[1],"defects":[0]}],
+			"coloring":[0,3]}`, 1},
+		{"instance invalid", `{"n":1,"edges":[],"space":2,"lists":[{"colors":[7],"defects":[0]}]}`, 1},
+
+		{"garbage", `not json at all`, 2},
+		{"empty input", ``, 2},
+		{"n zero", `{"n":0}`, 2},
+		{"n negative", `{"n":-3}`, 2},
+		{"n huge", `{"n":9999999999}`, 2},
+		{"self loop", `{"n":2,"edges":[[1,1]]}`, 2},
+		{"edge out of range", `{"n":2,"edges":[[0,5]]}`, 2},
+		{"edge negative", `{"n":2,"edges":[[-1,0]]}`, 2},
+		{"negative space", `{"n":2,"edges":[[0,1]],"space":-1}`, 2},
+		{"list count mismatch", `{"n":3,"edges":[],"lists":[{"colors":[0]}]}`, 2},
+		{"defect count mismatch", `{"n":1,"edges":[],"space":2,
+			"lists":[{"colors":[0,1],"defects":[0]}]}`, 2},
+		{"coloring length mismatch", `{"n":3,"edges":[[0,1]],"space":2,"coloring":[0]}`, 2},
+		{"unknown variant", `{"n":2,"edges":[[0,1]],"space":2,"coloring":[0,1],"variant":"rainbow"}`, 2},
+		{"ldc without lists", `{"n":2,"edges":[[0,1]],"space":2,"coloring":[0,1],"variant":"ldc"}`, 2},
+		{"oldc without lists", `{"n":2,"edges":[[0,1]],"space":2,"coloring":[0,1],"variant":"oldc-by-id"}`, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := run(strings.NewReader(tc.doc), io.Discard, io.Discard)
+			if got != tc.want {
+				t.Fatalf("run() = %d, want %d for %s", got, tc.want, tc.doc)
+			}
+		})
+	}
+}
+
+// FuzzRun feeds arbitrary bytes through the full document pipeline; the
+// invariant is simply that run never panics and always returns one of the
+// three documented exit codes.
+func FuzzRun(f *testing.F) {
+	f.Add([]byte(`{"n":4,"edges":[[0,1],[1,2],[2,3]],"space":2,"coloring":[0,1,0,1]}`))
+	f.Add([]byte(`{"n":2,"edges":[[0,1]],"lists":[{"colors":[0]},{"colors":[1]}],"coloring":[0,1]}`))
+	f.Add([]byte(`{"n":1,"edges":[[0,0]]}`))
+	f.Add([]byte(`{"n":-1}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code := run(strings.NewReader(string(data)), io.Discard, io.Discard)
+		if code != exitValid && code != exitInvalid && code != exitMalformed {
+			t.Fatalf("run() returned undocumented exit code %d", code)
+		}
+	})
+}

@@ -10,8 +10,22 @@
 package bitio
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
+)
+
+// Typed decode errors. A Reader records the first failure it encounters
+// (sticky, like bufio.Scanner): subsequent reads return zero values, and
+// decoders check Err once after parsing a whole message instead of wrapping
+// every field read. Corrupted or truncated wire payloads therefore surface
+// as typed errors rather than panics.
+var (
+	// ErrTruncated reports a read past the end of the bit string.
+	ErrTruncated = errors.New("bitio: truncated input")
+	// ErrMalformed reports a syntactically invalid code (e.g. an Elias
+	// gamma prefix longer than any encodable value).
+	ErrMalformed = errors.New("bitio: malformed code")
 )
 
 // Writer accumulates a bit string.
@@ -98,23 +112,50 @@ func (w *Writer) WriteBitset(set []int, universe int) {
 	}
 }
 
-// Reader consumes a bit string produced by Writer.
+// Reader consumes a bit string produced by Writer. Reads past the end or
+// over malformed codes do not panic: they set a sticky error (Err) and
+// return zero values, so decoders stay crash-safe on corrupted input.
 type Reader struct {
 	buf  []byte
 	pos  int
 	nbit int
+	err  error
 }
 
-// NewReader returns a Reader over nbit bits of buf.
-func NewReader(buf []byte, nbit int) *Reader { return &Reader{buf: buf, nbit: nbit} }
+// NewReader returns a Reader over nbit bits of buf. A negative nbit, or an
+// nbit larger than buf holds, marks the Reader malformed from the start.
+func NewReader(buf []byte, nbit int) *Reader {
+	r := &Reader{buf: buf, nbit: nbit}
+	if nbit < 0 || nbit > len(buf)*8 {
+		r.nbit = 0
+		r.err = ErrMalformed
+	}
+	return r
+}
+
+// Err returns the first decode error encountered, or nil. Once set, every
+// subsequent read returns zero values without advancing.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first error; later failures never overwrite it.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbit - r.pos }
 
-// ReadBit consumes one bit.
+// ReadBit consumes one bit. Past the end it sets ErrTruncated and
+// returns 0.
 func (r *Reader) ReadBit() uint {
+	if r.err != nil {
+		return 0
+	}
 	if r.pos >= r.nbit {
-		panic("bitio: read past end")
+		r.fail(ErrTruncated)
+		return 0
 	}
 	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
 	r.pos++
@@ -130,24 +171,38 @@ func (r *Reader) ReadUint(width int) uint64 {
 	return x
 }
 
-// ReadEliasGamma consumes an Elias-gamma coded value.
+// ReadEliasGamma consumes an Elias-gamma coded value. A zero-run prefix
+// longer than any encodable value sets ErrMalformed.
 func (r *Reader) ReadEliasGamma() uint64 {
 	n := 0
 	for r.ReadBit() == 0 {
+		if r.err != nil {
+			return 0
+		}
 		n++
-		if n > 64 {
-			panic("bitio: malformed Elias gamma code")
+		if n > 63 {
+			r.fail(ErrMalformed)
+			return 0
 		}
 	}
 	x := uint64(1)
 	for i := 0; i < n; i++ {
 		x = x<<1 | uint64(r.ReadBit())
 	}
+	if r.err != nil {
+		return 0
+	}
 	return x
 }
 
 // ReadVarint consumes a value written by WriteVarint.
-func (r *Reader) ReadVarint() uint64 { return r.ReadEliasGamma() - 1 }
+func (r *Reader) ReadVarint() uint64 {
+	x := r.ReadEliasGamma()
+	if r.err != nil {
+		return 0
+	}
+	return x - 1
+}
 
 // ReadBitset consumes a characteristic vector over the given universe.
 func (r *Reader) ReadBitset(universe int) []int {

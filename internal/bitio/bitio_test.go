@@ -1,6 +1,7 @@
 package bitio
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -155,13 +156,58 @@ func TestMixedStream(t *testing.T) {
 	}
 }
 
-func TestReadPastEndPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestReadPastEndSetsErr(t *testing.T) {
+	r := NewReader(nil, 0)
+	if got := r.ReadBit(); got != 0 {
+		t.Fatalf("ReadBit past end = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Sticky: further reads keep returning zero values with the same error.
+	if r.ReadUint(8) != 0 || r.ReadVarint() != 0 {
+		t.Fatal("reads after error must return zero values")
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err overwritten: %v", r.Err())
+	}
+}
+
+func TestTruncatedVarintSetsErr(t *testing.T) {
+	w := NewWriter()
+	w.WriteVarint(1 << 20)
+	for cut := 0; cut < w.Len(); cut++ {
+		r := NewReader(w.Bytes(), cut)
+		_ = r.ReadVarint()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: truncated varint decoded without error", cut)
 		}
-	}()
-	NewReader(nil, 0).ReadBit()
+	}
+}
+
+func TestMalformedEliasGammaSetsErr(t *testing.T) {
+	// 70 zero bits: a gamma prefix longer than any encodable value.
+	w := NewWriter()
+	for i := 0; i < 70; i++ {
+		w.WriteBit(0)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if got := r.ReadEliasGamma(); got != 0 {
+		t.Fatalf("malformed gamma = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Fatalf("Err = %v, want ErrMalformed", r.Err())
+	}
+}
+
+func TestNewReaderRejectsOverlongLength(t *testing.T) {
+	r := NewReader([]byte{0xFF}, 64)
+	if r.Err() == nil {
+		t.Fatal("nbit beyond the buffer must mark the reader malformed")
+	}
+	if r.ReadBit() != 0 {
+		t.Fatal("malformed reader must return zero bits")
+	}
 }
 
 func TestWriterReset(t *testing.T) {

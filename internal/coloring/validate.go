@@ -179,19 +179,21 @@ func CheckOrientedDefective(o *graph.Oriented, phi Assignment, numColors, d int)
 	return nil
 }
 
-// CountOLDCViolations returns the number of nodes whose oriented defect
-// bound is violated (used by ablation experiments that deliberately
-// under-provision parameters).
-func CountOLDCViolations(o *graph.Oriented, lists []NodeList, phi Assignment) int {
-	bad := 0
+// OLDCViolators returns the ascending list of nodes whose OLDC constraint
+// is violated: uncolored, colored off-list, or with more same-colored
+// out-neighbors than the color's defect allows. It is the detection half
+// of detect-and-repair solving (oldc.SolveRobust): the violators induce
+// the residual subgraph that gets re-solved after a faulty run.
+func OLDCViolators(o *graph.Oriented, lists []NodeList, phi Assignment) []int {
+	var bad []int
 	for v := 0; v < o.N(); v++ {
 		if phi[v] == Unset {
-			bad++
+			bad = append(bad, v)
 			continue
 		}
 		d, ok := lists[v].DefectOf(phi[v])
 		if !ok {
-			bad++
+			bad = append(bad, v)
 			continue
 		}
 		same := 0
@@ -201,10 +203,17 @@ func CountOLDCViolations(o *graph.Oriented, lists []NodeList, phi Assignment) in
 			}
 		}
 		if same > d {
-			bad++
+			bad = append(bad, v)
 		}
 	}
 	return bad
+}
+
+// CountOLDCViolations returns the number of nodes whose oriented defect
+// bound is violated (used by ablation experiments that deliberately
+// under-provision parameters).
+func CountOLDCViolations(o *graph.Oriented, lists []NodeList, phi Assignment) int {
+	return len(OLDCViolators(o, lists, phi))
 }
 
 // MaxDefect returns the maximum number of same-colored neighbors over all

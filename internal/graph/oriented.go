@@ -106,6 +106,33 @@ func degeneracyOrder(g *Graph) []int {
 	return pos
 }
 
+// InducedOriented returns the orientation induced on the given vertex set:
+// the induced subgraph of the underlying graph, with exactly the arcs whose
+// endpoints both survive, plus the mapping from new ids to original ids.
+// Unlike re-running Orient with a HasArc predicate, this preserves
+// symmetric orientations (where both directions of an edge are arcs).
+func InducedOriented(o *Oriented, vs []int) (*Oriented, []int) {
+	sub, orig := o.g.InducedSubgraph(vs)
+	idx := make(map[int]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	res := &Oriented{g: sub, out: make([][]int32, len(vs)), in: make([][]int32, len(vs))}
+	for i, v := range vs {
+		for _, w := range o.out[v] {
+			if j, ok := idx[int(w)]; ok {
+				res.out[i] = append(res.out[i], int32(j))
+				res.in[j] = append(res.in[j], int32(i))
+			}
+		}
+	}
+	for v := range res.out {
+		sort.Slice(res.out[v], func(i, j int) bool { return res.out[v][i] < res.out[v][j] })
+		sort.Slice(res.in[v], func(i, j int) bool { return res.in[v][i] < res.in[v][j] })
+	}
+	return res, orig
+}
+
 // Graph returns the underlying undirected graph.
 func (o *Oriented) Graph() *Graph { return o.g }
 

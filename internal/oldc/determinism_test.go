@@ -1,9 +1,12 @@
 package oldc
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/chaos"
 	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -108,6 +111,59 @@ func TestFamilyCacheDeterminism(t *testing.T) {
 				t.Fatalf("workers=%d noCache=%v: stats diverge: want %+v got %+v",
 					workers, noCache, want.stats, got.stats)
 			}
+		}
+	}
+}
+
+// TestFaultScheduleDeterminism is the chaos-harness determinism
+// regression: identical seeds and fault schedule must produce
+// bit-identical colorings, Stats, and per-round fault ledgers regardless
+// of the worker count — fault injection happens inside the parallel
+// routing workers, so this pins that neither drop/corrupt decisions nor
+// ledger accounting depend on scheduling.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	g := graph.RandomRegular(64, 16, 51)
+	o := graph.OrientByID(g)
+	type result struct {
+		phi coloring.Assignment
+		rep RobustReport
+	}
+	run := func(workers int) result {
+		in, _ := prepareInput(t, o, 1<<13, 5.0, 2, 53)
+		model := chaos.Compose(
+			chaos.Drop(7, 0.08),
+			chaos.Flip(8, 0.08),
+			chaos.CrashWindow(3, 1, 3),
+		)
+		eng := sim.NewEngineWith(g, sim.Options{Faults: model})
+		if workers > 0 {
+			eng.SetWorkers(workers)
+		}
+		phi, rep, err := SolveRobust(eng, in, RobustOptions{})
+		if err != nil {
+			var res *ErrResidual
+			if !errors.As(err, &res) {
+				t.Fatal(err)
+			}
+		}
+		return result{phi, rep}
+	}
+	want := run(1)
+	if len(want.rep.Stats.Faults) == 0 || want.rep.Stats.TotalFaults().Dropped == 0 {
+		t.Fatal("schedule recorded no faults; the regression would be vacuous")
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got := run(workers)
+		if !reflect.DeepEqual(want.phi, got.phi) {
+			t.Fatalf("workers=%d: coloring diverges from serial run", workers)
+		}
+		if !reflect.DeepEqual(want.rep.Stats, got.rep.Stats) {
+			t.Fatalf("workers=%d: stats/fault ledger diverge:\nwant %+v\ngot  %+v",
+				workers, want.rep.Stats, got.rep.Stats)
+		}
+		if !reflect.DeepEqual(want.rep, got.rep) {
+			t.Fatalf("workers=%d: robust report diverges:\nwant %+v\ngot  %+v",
+				workers, want.rep, got.rep)
 		}
 	}
 }

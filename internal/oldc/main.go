@@ -106,6 +106,7 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 		spec.defect[v] = d
 	}
 	alg := newTwoPhase(spec)
+	alg.sink = eng
 	stats, err := eng.Run(alg, 3*h+4)
 	total = total.Add(stats)
 	if err != nil {
@@ -322,6 +323,7 @@ func sortInts(a []int) {
 // with packed ColorSet forms for the conflict kernels.
 type twoPhaseAlg struct {
 	spec    basicSpec
+	sink    faultReporter      // decode-fault ledger (the engine); may be nil
 	cache   *cover.FamilyCache // nil when spec.noCache
 	csr     outCSR
 	curList [][]int // list after bad-color removal (set at the class round)
@@ -464,7 +466,7 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 					continue
 				}
-				m, mok := msg.Payload.(typeMsg)
+				m, mok := asTypeMsg(msg.Payload, a.spec.m, a.spec.h, a.spec.spaceSize, a.sink)
 				if !mok {
 					continue
 				}
@@ -491,7 +493,7 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 					continue
 				}
-				m, mok := msg.Payload.(chosenSetMsg)
+				m, mok := asChosenSetMsg(msg.Payload, a.spec.kprime, a.sink)
 				if !mok {
 					continue
 				}
@@ -521,7 +523,7 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
-			if m, mok := msg.Payload.(colorMsg); mok {
+			if m, mok := asColorMsg(msg.Payload, a.spec.spaceSize, a.sink); mok {
 				a.nbrColor[pos] = int32(m.color)
 			}
 		}

@@ -1,0 +1,209 @@
+package oldc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// RobustOptions configures SolveRobust.
+type RobustOptions struct {
+	// Options are forwarded to the underlying solver (Gap must be 0).
+	Options
+	// MaxRepairs bounds the distributed repair iterations after a faulty
+	// run (0 = the default of 3).
+	MaxRepairs int
+	// MaxSweeps bounds the deterministic greedy fallback passes that run
+	// if the distributed repairs leave violators (0 = the default of 3).
+	MaxSweeps int
+}
+
+// RobustReport describes a detect-and-repair run: how much of the network
+// survived the faults, and how much work the repairs cost.
+type RobustReport struct {
+	Stats         sim.Stats // accumulated over the faulty run and all repairs
+	InitialBad    int       // violators right after the faulty run
+	SurvivalRate  float64   // (n − InitialBad) / n
+	Repairs       int       // distributed repair iterations executed
+	RepairRounds  int       // simulator rounds spent inside repairs
+	ResidualSizes []int     // violator count entering each repair iteration
+	FallbackNodes int       // nodes recolored by the greedy sweep fallback
+}
+
+// ErrResidual is returned when repairs exhaust their budget with
+// violations left: the output coloring is best-effort and the violation
+// set is named explicitly, so callers can never mistake it for a valid
+// coloring.
+type ErrResidual struct {
+	Violators []int
+}
+
+func (e *ErrResidual) Error() string {
+	return fmt.Sprintf("oldc: %d nodes still violate their defect bounds after repair: %v",
+		len(e.Violators), truncated(e.Violators, 16))
+}
+
+func truncated(vs []int, max int) []int {
+	if len(vs) <= max {
+		return vs
+	}
+	return vs[:max]
+}
+
+// SolveRobust runs Solve under whatever fault model is installed on eng,
+// then detects and repairs the damage: it validates the output with
+// internal/coloring, extracts the violating residual subgraph, and
+// re-solves the residual against the *remaining* defect budgets (each
+// node's defects reduced by its same-colored already-fixed out-neighbors)
+// on a fresh fault-free engine, repeating up to MaxRepairs times. If
+// distributed repairs stall, a deterministic greedy sweep recolors the
+// stragglers. The result is either a coloring CheckOLDC accepts or a
+// best-effort coloring together with a typed *ErrResidual naming the
+// violators — never a silently invalid output.
+//
+// The repair engines are fault-free by design: detect-and-repair models
+// transient faults that have passed by the time the (much smaller)
+// residual instance is re-solved.
+func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assignment, RobustReport, error) {
+	var rep RobustReport
+	if opts.Gap != 0 {
+		return nil, rep, fmt.Errorf("oldc: SolveRobust only handles gap 0")
+	}
+	maxRepairs := opts.MaxRepairs
+	if maxRepairs <= 0 {
+		maxRepairs = 3
+	}
+	maxSweeps := opts.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 3
+	}
+
+	solveOpts := opts.Options
+	solveOpts.SkipValidate = true // validation is this function's job
+	phi, stats, err := Solve(eng, in, solveOpts)
+	rep.Stats = stats
+	if err != nil {
+		return nil, rep, err
+	}
+
+	n := in.O.N()
+	violators := coloring.OLDCViolators(in.O, in.Lists, phi)
+	rep.InitialBad = len(violators)
+	rep.SurvivalRate = float64(n-len(violators)) / float64(n)
+
+	for iter := 0; iter < maxRepairs && len(violators) > 0; iter++ {
+		rep.ResidualSizes = append(rep.ResidualSizes, len(violators))
+		subPhi, subStats, rerr := repairResidual(in, phi, violators, solveOpts)
+		rep.Stats = rep.Stats.Add(subStats)
+		rep.RepairRounds += subStats.Rounds
+		rep.Repairs++
+		if rerr != nil {
+			break // fall through to the greedy sweep
+		}
+		for i, v := range violators {
+			phi[v] = subPhi[i]
+		}
+		next := coloring.OLDCViolators(in.O, in.Lists, phi)
+		if len(next) >= len(violators) {
+			violators = next
+			break // no progress; don't burn the remaining budget
+		}
+		violators = next
+	}
+
+	if len(violators) > 0 {
+		rep.FallbackNodes = greedySweep(in.O, in.Lists, phi, &violators, maxSweeps)
+	}
+	if len(violators) > 0 {
+		return phi, rep, &ErrResidual{Violators: violators}
+	}
+	if err := coloring.CheckOLDC(in.O, in.Lists, phi); err != nil {
+		// Unreachable if OLDCViolators and CheckOLDC agree; certify anyway.
+		return phi, rep, fmt.Errorf("oldc: repaired coloring failed certification: %w", err)
+	}
+	return phi, rep, nil
+}
+
+// repairResidual re-solves the subinstance induced by the violators: the
+// induced oriented subgraph, lists restricted to colors that still have
+// defect budget left after subtracting same-colored fixed out-neighbors,
+// and the original proper init coloring (a proper coloring stays proper on
+// an induced subgraph). Runs on a fresh fault-free engine.
+func repairResidual(in Input, phi coloring.Assignment, violators []int, opts Options) (coloring.Assignment, sim.Stats, error) {
+	subO, orig := graph.InducedOriented(in.O, violators)
+	inResidual := make(map[int]bool, len(violators))
+	for _, v := range violators {
+		inResidual[v] = true
+	}
+	lists := make([]coloring.NodeList, len(orig))
+	inits := make([]int, len(orig))
+	for i, v := range orig {
+		// Count fixed (non-residual) same-colored out-neighbors per color.
+		fixed := map[int]int{}
+		for _, u := range in.O.Out(v) {
+			if !inResidual[int(u)] && phi[u] != coloring.Unset {
+				fixed[phi[u]]++
+			}
+		}
+		l := in.Lists[v]
+		var colors, defs []int
+		for k, x := range l.Colors {
+			if rem := l.Defect[k] - fixed[x]; rem >= 0 {
+				colors = append(colors, x)
+				defs = append(defs, rem)
+			}
+		}
+		if len(colors) == 0 {
+			// Every color's budget is already spent by fixed neighbors; keep
+			// the least-overspent color so the solver has a list to work
+			// with. The node may stay violated and fall to the next round.
+			bestK, bestRem := 0, math.MinInt
+			for k, x := range l.Colors {
+				if rem := l.Defect[k] - fixed[x]; rem > bestRem {
+					bestRem, bestK = rem, k
+				}
+			}
+			colors = []int{l.Colors[bestK]}
+			defs = []int{0}
+		}
+		lists[i] = coloring.NodeList{Colors: colors, Defect: defs}
+		inits[i] = in.InitColors[v]
+	}
+	rin := Input{O: subO, SpaceSize: in.SpaceSize, Lists: lists, InitColors: inits, M: in.M}
+	ropts := Options{Params: opts.Params, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache}
+	return SolveMulti(sim.NewEngine(subO.Graph()), rin, ropts)
+}
+
+// greedySweep deterministically recolors violators in ascending id order,
+// giving each the on-list color with the most remaining defect budget
+// against the current coloring, for up to maxSweeps passes or until the
+// violator set is empty. Returns the number of recolorings applied; the
+// violator slice is updated in place to the final violation set.
+func greedySweep(o *graph.Oriented, lists []coloring.NodeList, phi coloring.Assignment, violators *[]int, maxSweeps int) int {
+	touched := 0
+	for pass := 0; pass < maxSweeps && len(*violators) > 0; pass++ {
+		for _, v := range *violators {
+			bestX, bestSlack := -1, math.MinInt
+			for k, x := range lists[v].Colors {
+				same := 0
+				for _, u := range o.Out(v) {
+					if phi[u] == x {
+						same++
+					}
+				}
+				if slack := lists[v].Defect[k] - same; slack > bestSlack {
+					bestSlack, bestX = slack, x
+				}
+			}
+			if bestX >= 0 && bestX != phi[v] {
+				phi[v] = bestX
+				touched++
+			}
+		}
+		*violators = coloring.OLDCViolators(o, lists, phi)
+	}
+	return touched
+}

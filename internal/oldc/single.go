@@ -71,6 +71,7 @@ func (c outCSR) arcs() int { return len(c.ids) }
 // the conflict kernels.
 type basicAlg struct {
 	spec    basicSpec
+	sink    faultReporter      // decode-fault ledger (the engine); may be nil
 	cache   *cover.FamilyCache // nil when spec.noCache
 	csr     outCSR
 	reslist [][]int // residue-restricted lists (Section 3.2.2)
@@ -209,7 +210,10 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
-			m := msg.Payload.(typeMsg)
+			m, mok := asTypeMsg(msg.Payload, a.spec.m, a.spec.h, a.spec.spaceSize, a.sink)
+			if !mok {
+				continue
+			}
 			t := typeInfo{initColor: m.initColor, gclass: m.gclass, defect: m.defect, list: m.list}
 			a.nbrType[pos] = t
 			a.nbrFam[pos] = a.familyOf(t)
@@ -222,7 +226,10 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
-			m := msg.Payload.(chosenSetMsg)
+			m, mok := asChosenSetMsg(msg.Payload, a.spec.kprime, a.sink)
+			if !mok {
+				continue
+			}
 			if fam := a.nbrFam[pos]; fam != nil && m.index < len(fam.Sets) {
 				a.nbrCv[pos] = fam.Sets[m.index]
 				a.nbrCvBits[pos] = fam.Bits[m.index]
@@ -238,7 +245,7 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
 				continue
 			}
-			if m, mok := msg.Payload.(colorMsg); mok {
+			if m, mok := asColorMsg(msg.Payload, a.spec.spaceSize, a.sink); mok {
 				a.nbrColor[pos] = int32(m.color)
 			}
 		}
@@ -331,6 +338,7 @@ func runBasic(eng *sim.Engine, spec basicSpec) ([]int, sim.Stats, error) {
 	if err != nil {
 		return nil, sim.Stats{}, err
 	}
+	alg.sink = eng
 	stats, err := eng.Run(alg, spec.h+3)
 	if err != nil {
 		return nil, stats, err

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/bitio"
+	"repro/internal/sim"
 )
 
 func TestTypeMsgRoundTrip(t *testing.T) {
@@ -22,7 +23,10 @@ func TestTypeMsgRoundTrip(t *testing.T) {
 	}
 	w := bitio.NewWriter()
 	msg.EncodeBits(w)
-	got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	got, err := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.initColor != msg.initColor || got.gclass != msg.gclass || got.defect != msg.defect {
 		t.Fatalf("header mismatch: %+v", got)
 	}
@@ -52,7 +56,10 @@ func TestTypeMsgBitsetBranch(t *testing.T) {
 	if w.Len() > header+16+1+space {
 		t.Fatalf("bitset branch not taken: %d bits", w.Len())
 	}
-	got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	got, err := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(got.list, list) {
 		t.Fatalf("bitset round trip failed: %v", got.list)
 	}
@@ -62,7 +69,8 @@ func TestTypeMsgRoundTripProperty(t *testing.T) {
 	f := func(init uint16, gclass uint8, defect uint8, raw []uint16) bool {
 		m, h, space := 1<<16, 8, 1<<12
 		seen := map[int]bool{}
-		var list []int
+		list := []int{0} // decoders reject empty lists; always include color 0
+		seen[0] = true
 		for _, x := range raw {
 			c := int(x) % space
 			if !seen[c] {
@@ -79,8 +87,8 @@ func TestTypeMsgRoundTripProperty(t *testing.T) {
 		}
 		w := bitio.NewWriter()
 		msg.EncodeBits(w)
-		got := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
-		return got.initColor == msg.initColor && got.gclass == msg.gclass &&
+		got, err := decodeTypeMsg(bitio.NewReader(w.Bytes(), w.Len()), m, h, space)
+		return err == nil && got.initColor == msg.initColor && got.gclass == msg.gclass &&
 			got.defect == msg.defect && reflect.DeepEqual(got.list, msg.list)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -93,13 +101,147 @@ func TestChosenSetAndColorRoundTrip(t *testing.T) {
 	chosenSetMsg{index: 13, width: bitio.WidthFor(16)}.EncodeBits(w)
 	colorMsg{color: 512, width: bitio.WidthFor(4096)}.EncodeBits(w)
 	r := bitio.NewReader(w.Bytes(), w.Len())
-	if got := decodeChosenSetMsg(r, 16); got.index != 13 {
-		t.Fatalf("index=%d", got.index)
+	got, err := decodeChosenSetMsg(r, 16)
+	if err != nil || got.index != 13 {
+		t.Fatalf("index=%d err=%v", got.index, err)
 	}
-	if got := decodeColorMsg(r, 4096); got.color != 512 {
-		t.Fatalf("color=%d", got.color)
+	gotC, err := decodeColorMsg(r, 4096)
+	if err != nil || gotC.color != 512 {
+		t.Fatalf("color=%d err=%v", gotC.color, err)
 	}
 	if r.Remaining() != 0 {
 		t.Fatal("leftover bits")
+	}
+}
+
+func encodeTypeMsg(t *testing.T, m, h, space int, msg typeMsg) ([]byte, int) {
+	t.Helper()
+	msg.mWidth = bitio.WidthFor(m)
+	msg.hWidth = bitio.WidthFor(h + 1)
+	msg.spaceSize = space
+	msg.colorWidth = bitio.WidthFor(space)
+	w := bitio.NewWriter()
+	msg.EncodeBits(w)
+	return w.Bytes(), w.Len()
+}
+
+func TestDecodeTypeMsgRejectsBadFields(t *testing.T) {
+	m, h, space := 100, 4, 64
+	valid := typeMsg{initColor: 42, gclass: 2, defect: 3, list: []int{1, 5, 9}}
+	buf, nbit := encodeTypeMsg(t, m, h, space, valid)
+	if _, err := decodeTypeMsg(bitio.NewReader(buf, nbit), m, h, space); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+
+	for name, bad := range map[string]typeMsg{
+		// mWidth=7 encodes up to 127; 101 is encodable but outside [0, m).
+		"initColor≥m": {initColor: 101, gclass: 2, defect: 3, list: []int{1}},
+		// hWidth=3 encodes up to 7; 5 is encodable but outside [1, h].
+		"gclass>h": {initColor: 1, gclass: 5, defect: 3, list: []int{1}},
+	} {
+		buf, nbit := encodeTypeMsg(t, m, h, space, bad)
+		if _, err := decodeTypeMsg(bitio.NewReader(buf, nbit), m, h, space); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// Every truncation of a valid message must error, never panic.
+	for cut := 0; cut < nbit; cut++ {
+		if _, err := decodeTypeMsg(bitio.NewReader(buf, cut), m, h, space); err == nil {
+			t.Errorf("truncation at bit %d decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeChosenSetRejectsOutOfRange(t *testing.T) {
+	// width for kprime=10 is 4 bits; index 12 is encodable but invalid.
+	w := bitio.NewWriter()
+	w.WriteUint(12, bitio.WidthFor(10))
+	if _, err := decodeChosenSetMsg(bitio.NewReader(w.Bytes(), w.Len()), 10); err == nil {
+		t.Fatal("out-of-family index decoded without error")
+	}
+	if _, err := decodeChosenSetMsg(bitio.NewReader(nil, 0), 10); err == nil {
+		t.Fatal("truncated chosenSet decoded without error")
+	}
+}
+
+func TestDecodeColorRejectsOutOfRange(t *testing.T) {
+	// width for space=100 is 7 bits; color 101 is encodable but invalid.
+	w := bitio.NewWriter()
+	w.WriteUint(101, bitio.WidthFor(100))
+	if _, err := decodeColorMsg(bitio.NewReader(w.Bytes(), w.Len()), 100); err == nil {
+		t.Fatal("out-of-space color decoded without error")
+	}
+}
+
+// countingSink counts reported decode faults.
+type countingSink struct{ n int }
+
+func (s *countingSink) ReportDecodeFault() { s.n++ }
+
+func TestAsHelpersTolerateCorruption(t *testing.T) {
+	m, h, space := 100, 4, 64
+	buf, nbit := encodeTypeMsg(t, m, h, space, typeMsg{initColor: 42, gclass: 2, defect: 3, list: []int{1, 5, 9}})
+
+	sink := &countingSink{}
+	// An uncorrupted re-encoding decodes cleanly.
+	if _, ok := asTypeMsg(sim.CorruptPayload{Bits: buf, NBit: nbit}, m, h, space, sink); !ok {
+		t.Fatal("clean payload failed to decode")
+	}
+	if sink.n != 0 {
+		t.Fatal("clean decode reported a fault")
+	}
+	// Truncated payloads are rejected and reported, for every cut point.
+	for cut := 0; cut < nbit; cut++ {
+		if _, ok := asTypeMsg(sim.CorruptPayload{Bits: buf, NBit: cut}, m, h, space, sink); ok {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if sink.n != nbit {
+		t.Fatalf("reported %d faults for %d truncations", sink.n, nbit)
+	}
+	// A nil sink must not crash the rejection path.
+	if _, ok := asTypeMsg(sim.CorruptPayload{Bits: buf, NBit: 3}, m, h, space, nil); ok {
+		t.Fatal("truncated payload accepted with nil sink")
+	}
+	// Unexpected kinds are skipped without being counted as wire faults.
+	before := sink.n
+	if _, ok := asTypeMsg(colorMsg{color: 1, width: 7}, m, h, space, sink); ok {
+		t.Fatal("wrong-kind payload accepted")
+	}
+	if sink.n != before {
+		t.Fatal("wrong-kind payload reported as decode fault")
+	}
+
+	// Single-bit flips: every flip either decodes to a (possibly different)
+	// valid message or is reported — never a panic, and trailing-bit
+	// mismatches are caught by the exact-consumption rule.
+	for bit := 0; bit < nbit; bit++ {
+		dam := make([]byte, len(buf))
+		copy(dam, buf)
+		dam[bit/8] ^= 1 << (7 - uint(bit%8))
+		asTypeMsg(sim.CorruptPayload{Bits: dam, NBit: nbit}, m, h, space, sink)
+	}
+}
+
+func TestAsChosenSetAndColorCorruption(t *testing.T) {
+	sink := &countingSink{}
+	w := bitio.NewWriter()
+	chosenSetMsg{index: 7, width: bitio.WidthFor(10)}.EncodeBits(w)
+	if msg, ok := asChosenSetMsg(sim.CorruptPayload{Bits: w.Bytes(), NBit: w.Len()}, 10, sink); !ok || msg.index != 7 {
+		t.Fatalf("clean chosenSet decode: ok=%v msg=%+v", ok, msg)
+	}
+	// Extra trailing bit violates exact consumption.
+	if _, ok := asChosenSetMsg(sim.CorruptPayload{Bits: w.Bytes(), NBit: w.Len() + 1}, 10, sink); ok {
+		t.Fatal("overlong chosenSet accepted")
+	}
+
+	w2 := bitio.NewWriter()
+	colorMsg{color: 33, width: bitio.WidthFor(100)}.EncodeBits(w2)
+	if msg, ok := asColorMsg(sim.CorruptPayload{Bits: w2.Bytes(), NBit: w2.Len()}, 100, sink); !ok || msg.color != 33 {
+		t.Fatalf("clean color decode: ok=%v msg=%+v", ok, msg)
+	}
+	if _, ok := asColorMsg(sim.CorruptPayload{Bits: w2.Bytes(), NBit: 3}, 100, sink); ok {
+		t.Fatal("truncated color accepted")
 	}
 }

@@ -40,10 +40,20 @@ type shardState struct {
 	messages  int64
 	totalBits int64
 	roundMax  int
+	dropped   int64         // structured-model drops (ledger)
+	corrupted int64         // structured-model corruptions (ledger)
 	bwErr     *ErrBandwidth // first in-shard bandwidth violation, wire order
-	drops     []bool        // Fault decisions in wire order (Fault != nil only)
+	acts      []wireAct     // fault decisions in wire order (faults active only)
 	counts    []int32       // per-receiver message count for this shard
 	cursor    []int32       // per-receiver write position during fillShard
+}
+
+// wireAct is one wire's recorded fault decision: countShard makes it
+// exactly once, fillShard replays it without consulting the fault hooks
+// again. payload is the corrupted replacement when kind == FaultCorrupt.
+type wireAct struct {
+	kind    FaultOutcome
+	payload Payload
 }
 
 func newRouter(e *Engine, n int) *router {
@@ -76,7 +86,7 @@ func newRouter(e *Engine, n int) *router {
 // maximum message size. On a bandwidth violation it returns the
 // deterministic first violation in global (sender, send-call) order, with
 // the round's complete accounting already merged into stats.
-func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered int64, roundMax int, err error) {
+func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered int64, roundMax int, faults RoundFaults, err error) {
 	e := rt.e
 	n := len(outboxes)
 	p := len(rt.shards)
@@ -91,6 +101,8 @@ func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered i
 		delivered += sh.messages
 		stats.Messages += sh.messages
 		stats.TotalBits += sh.totalBits
+		faults.Dropped += sh.dropped
+		faults.Corrupted += sh.corrupted
 		if sh.roundMax > roundMax {
 			roundMax = sh.roundMax
 		}
@@ -104,7 +116,7 @@ func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered i
 		stats.MaxMessageBits = roundMax
 	}
 	if bwErr != nil {
-		return delivered, roundMax, bwErr
+		return delivered, roundMax, faults, bwErr
 	}
 
 	// Arena layout: receiver-major, shard-minor prefix sum.
@@ -126,7 +138,7 @@ func (rt *router) route(round int, outboxes []Outbox, stats *Stats) (delivered i
 
 	// Pass 2: place messages. Shards write disjoint index ranges.
 	e.parallel(p, func(s int) { rt.fillShard(s, outboxes) })
-	return delivered, roundMax, nil
+	return delivered, roundMax, faults, nil
 }
 
 // inbox returns receiver v's slice of the current round's arena.
@@ -137,8 +149,9 @@ func (rt *router) inbox(v int) []Received {
 // countShard encodes, accounts, and counts shard s's messages. Each
 // distinct send entry is encoded exactly once — a broadcast costs one
 // EncodeBits regardless of degree — while accounting still charges every
-// wire. Fault is consulted exactly once per wire; the decisions are
-// recorded so fillShard replays them without calling Fault again.
+// wire. The fault hooks are consulted exactly once per wire; the decisions
+// (including corrupted replacement payloads) are recorded so fillShard
+// replays them without consulting the hooks again.
 func (rt *router) countShard(round, s int, outboxes []Outbox) {
 	e := rt.e
 	sh := &rt.shards[s]
@@ -146,47 +159,86 @@ func (rt *router) countShard(round, s int, outboxes []Outbox) {
 		sh.counts[i] = 0
 	}
 	sh.messages, sh.totalBits, sh.roundMax, sh.bwErr = 0, 0, 0, nil
-	sh.drops = sh.drops[:0]
+	sh.dropped, sh.corrupted = 0, 0
+	sh.acts = sh.acts[:0]
+	// Corruption flips bits of the real encoding, so a structured fault
+	// model forces encoding even when bit accounting is off.
+	needEncode := e.CountBits || e.Faults != nil
 	var w *bitio.Writer
-	if e.CountBits {
+	if needEncode {
 		w = writerPool.Get().(*bitio.Writer)
 		defer writerPool.Put(w)
 	}
-	useFault := e.Fault != nil
+	useFault := e.Fault != nil || e.Faults != nil
 	for v := rt.bounds[s]; v < rt.bounds[s+1]; v++ {
 		ob := &outboxes[v]
 		for _, sd := range ob.sends {
 			bits := 0
-			if e.CountBits {
+			if needEncode {
 				w.Reset()
 				sd.payload.EncodeBits(w)
 				bits = w.Len()
 			}
 			if sd.to == broadcastTo {
 				for _, u := range ob.neighbors {
-					if useFault {
-						drop := e.Fault(round, v, int(u))
-						sh.drops = append(sh.drops, drop)
-						if drop {
-							continue
-						}
+					if useFault && sh.decide(e, round, v, int(u), w) == FaultDrop {
+						continue
 					}
 					sh.account(e, round, v, int(u), bits)
 					sh.counts[u]++
 				}
 			} else {
-				if useFault {
-					drop := e.Fault(round, v, int(sd.to))
-					sh.drops = append(sh.drops, drop)
-					if drop {
-						continue
-					}
+				if useFault && sh.decide(e, round, v, int(sd.to), w) == FaultDrop {
+					continue
 				}
 				sh.account(e, round, v, int(sd.to), bits)
 				sh.counts[sd.to]++
 			}
 		}
 	}
+}
+
+// decide consults the fault hooks for one wire and records the decision.
+// The legacy Fault hook wins first (its drops stay outside the ledger,
+// preserving seed behavior exactly); otherwise the structured model picks
+// an outcome, and corruptions snapshot the encoded payload with one bit
+// flipped at salt mod length. w holds the current send's encoding and is
+// non-nil whenever a structured model is installed.
+func (sh *shardState) decide(e *Engine, round, from, to int, w *bitio.Writer) FaultOutcome {
+	if e.Fault != nil && e.Fault(round, from, to) {
+		sh.acts = append(sh.acts, wireAct{kind: FaultDrop})
+		return FaultDrop
+	}
+	if e.Faults == nil {
+		sh.acts = append(sh.acts, wireAct{})
+		return FaultNone
+	}
+	outcome, salt := e.Faults.Wire(round, from, to)
+	switch outcome {
+	case FaultDrop:
+		sh.dropped++
+		sh.acts = append(sh.acts, wireAct{kind: FaultDrop})
+	case FaultCorrupt:
+		sh.corrupted++
+		sh.acts = append(sh.acts, wireAct{kind: FaultCorrupt, payload: corruptBits(w, salt)})
+	default:
+		outcome = FaultNone
+		sh.acts = append(sh.acts, wireAct{})
+	}
+	return outcome
+}
+
+// corruptBits copies the writer's current encoding and flips the bit
+// selected by salt. Zero-length messages stay empty (nothing to flip); the
+// receiver still sees a CorruptPayload.
+func corruptBits(w *bitio.Writer, salt uint64) CorruptPayload {
+	nbit := w.Len()
+	bits := append([]byte(nil), w.Bytes()...)
+	if nbit > 0 {
+		pos := int(salt % uint64(nbit))
+		bits[pos/8] ^= 1 << (7 - uint(pos%8))
+	}
+	return CorruptPayload{Bits: bits, NBit: nbit}
 }
 
 // account charges one wire carrying `bits` bits from v to u.
@@ -205,35 +257,44 @@ func (sh *shardState) account(e *Engine, round, v, u, bits int) {
 }
 
 // fillShard writes shard s's messages into the arena at the positions laid
-// out by route's prefix sum, replaying the Fault decisions from countShard.
+// out by route's prefix sum, replaying the fault decisions from countShard
+// (drops skip the wire, corruptions substitute the damaged payload).
 func (rt *router) fillShard(s int, outboxes []Outbox) {
 	sh := &rt.shards[s]
-	useFault := rt.e.Fault != nil
+	useFault := rt.e.Fault != nil || rt.e.Faults != nil
 	di := 0
 	for v := rt.bounds[s]; v < rt.bounds[s+1]; v++ {
 		ob := &outboxes[v]
 		for _, sd := range ob.sends {
 			if sd.to == broadcastTo {
 				for _, u := range ob.neighbors {
+					pl := sd.payload
 					if useFault {
-						drop := sh.drops[di]
+						act := sh.acts[di]
 						di++
-						if drop {
+						if act.kind == FaultDrop {
 							continue
 						}
+						if act.kind == FaultCorrupt {
+							pl = act.payload
+						}
 					}
-					rt.arena[sh.cursor[u]] = Received{From: v, Payload: sd.payload}
+					rt.arena[sh.cursor[u]] = Received{From: v, Payload: pl}
 					sh.cursor[u]++
 				}
 			} else {
+				pl := sd.payload
 				if useFault {
-					drop := sh.drops[di]
+					act := sh.acts[di]
 					di++
-					if drop {
+					if act.kind == FaultDrop {
 						continue
 					}
+					if act.kind == FaultCorrupt {
+						pl = act.payload
+					}
 				}
-				rt.arena[sh.cursor[sd.to]] = Received{From: v, Payload: sd.payload}
+				rt.arena[sh.cursor[sd.to]] = Received{From: v, Payload: pl}
 				sh.cursor[sd.to]++
 			}
 		}
@@ -284,6 +345,10 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 	outboxes := make([]Outbox, n)
 	rt := newRouter(e, n)
 	quiescent, canQuiesce := alg.(Quiescent)
+	ledger := e.Faults != nil
+	if ledger {
+		e.decodeFaults.Store(0)
+	}
 	for round := 0; round < maxRounds; round++ {
 		if alg.Done() {
 			return stats, nil
@@ -301,7 +366,7 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 			}
 		}
 		// Phase 2: sharded routing with bit accounting.
-		delivered, roundMax, err := rt.route(round, outboxes, &stats)
+		delivered, roundMax, faults, err := rt.route(round, outboxes, &stats)
 		if err != nil {
 			return stats, err
 		}
@@ -312,6 +377,12 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 		e.parallel(n, func(v int) {
 			alg.Inbox(v, rt.inbox(v))
 		})
+		if ledger {
+			// Decode faults reported by the Inbox callbacks above complete
+			// this round's ledger entry (len(Faults) tracks Rounds).
+			faults.DecodeFaults = e.decodeFaults.Swap(0)
+			stats.Faults = append(stats.Faults, faults)
+		}
 		stats.Rounds++
 		if delivered == 0 && canQuiesce && quiescent.Quiesced() {
 			return stats, nil

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitio"
 	"repro/internal/graph"
@@ -111,6 +112,20 @@ type Stats struct {
 	TotalBits      int64 // total bits on all wires
 	MaxMessageBits int   // size of the largest single message
 	RoundMaxBits   []int // per-round maximum message size
+	// Faults is the per-round fault ledger, populated only while a
+	// structured FaultModel is installed (len == Rounds then, nil
+	// otherwise); the legacy Fault hook never activates it, so fault-free
+	// and legacy runs keep their exact seed Stats.
+	Faults []RoundFaults
+}
+
+// RoundFaults is one round's entry in the fault ledger. All fields merge
+// with sums across routing shards, so the ledger is bit-identical for
+// every worker count.
+type RoundFaults struct {
+	Dropped      int64 // wires dropped by the fault model
+	Corrupted    int64 // wires delivered with flipped payload bits
+	DecodeFaults int64 // corrupted payloads the receivers detected and rejected
 }
 
 // Add merges another phase's statistics into s and returns the result,
@@ -123,7 +138,50 @@ func (s Stats) Add(o Stats) Stats {
 		s.MaxMessageBits = o.MaxMessageBits
 	}
 	s.RoundMaxBits = append(s.RoundMaxBits, o.RoundMaxBits...)
+	s.Faults = append(s.Faults, o.Faults...)
 	return s
+}
+
+// TotalFaults sums the ledger over all rounds.
+func (s Stats) TotalFaults() RoundFaults {
+	var t RoundFaults
+	for _, f := range s.Faults {
+		t.Dropped += f.Dropped
+		t.Corrupted += f.Corrupted
+		t.DecodeFaults += f.DecodeFaults
+	}
+	return t
+}
+
+// FaultOutcome is a fault model's decision for one wire in one round.
+type FaultOutcome uint8
+
+const (
+	// FaultNone delivers the message untouched.
+	FaultNone FaultOutcome = iota
+	// FaultDrop discards the message.
+	FaultDrop
+	// FaultCorrupt delivers the message with a bit of its encoded payload
+	// flipped: the receiver gets a CorruptPayload carrying the damaged
+	// bits instead of the original value.
+	FaultCorrupt
+)
+
+// FaultModel is a structured, composable fault schedule (internal/chaos
+// provides the standard implementations: i.i.d. drops, targeted wire
+// adversaries, crash and crash-recover node faults, bit flips). Wire is
+// consulted exactly once per wire per round from the routing workers, so
+// implementations must be safe for concurrent use and must depend only on
+// their arguments — that is what makes fault schedules seed-deterministic
+// and worker-count independent. The returned salt seeds the choice of
+// flipped bit when the outcome is FaultCorrupt (the engine flips bit
+// salt mod message length) and is ignored otherwise.
+//
+// Round numbers restart at 0 for every Engine.Run invocation; multi-phase
+// solvers (e.g. oldc.Solve) therefore expose fault schedules to each phase
+// with a fresh round clock.
+type FaultModel interface {
+	Wire(round, from, to int) (FaultOutcome, uint64)
 }
 
 // Engine executes algorithms over a fixed communication graph.
@@ -141,20 +199,64 @@ type Engine struct {
 	// violation. The check runs outside the Outbox fast path, so leaving
 	// it off costs nothing per send.
 	Validate bool
-	// Fault, when non-nil, adversarially drops messages: a message from
-	// `from` to `to` in `round` is discarded when Fault returns true. The
-	// algorithms in this repository assume the fault-free synchronous
-	// model, so Fault exists for failure-injection tests that verify the
-	// validators catch corrupted executions instead of passing them
-	// silently. Fault is invoked exactly once per wire per round, from the
-	// routing workers: it must be safe for concurrent use and should
-	// depend only on its arguments.
+	// Fault is the legacy ad-hoc drop hook, kept for backward
+	// compatibility: a message from `from` to `to` in `round` is discarded
+	// when Fault returns true. It is invoked exactly once per wire per
+	// round, from the routing workers: it must be safe for concurrent use
+	// and should depend only on its arguments. New code should install a
+	// structured, composable schedule from internal/chaos via Faults
+	// instead — only Faults activates the Stats.Faults ledger and payload
+	// corruption. When both are set, Fault is consulted first and its
+	// drops bypass the ledger.
+	Fault func(round, from, to int) bool
+	// Faults, when non-nil, is the structured fault model consulted once
+	// per wire per round (see FaultModel). Installing it activates the
+	// per-round fault ledger in Stats.
+	Faults FaultModel
+
+	// decodeFaults counts ReportDecodeFault calls during the current
+	// round's Inbox phase; the engine drains it into the ledger.
+	decodeFaults atomic.Int64
+}
+
+// Options bundles optional engine configuration for NewEngineWith.
+type Options struct {
+	Workers     int  // worker-pool size (0 = GOMAXPROCS)
+	Bandwidth   int  // per-message bit budget (0 = unlimited)
+	NoCountBits bool // disable encoding-based bit accounting
+	Validate    bool // check SendTo targets against the graph
+	// Faults installs a structured fault schedule (see FaultModel and
+	// internal/chaos) and activates the Stats.Faults ledger.
+	Faults FaultModel
+	// Fault is the legacy drop hook (see Engine.Fault).
 	Fault func(round, from, to int) bool
 }
 
 // NewEngine returns an engine over the communication graph g.
 func NewEngine(g *graph.Graph) *Engine {
 	return &Engine{g: g, workers: runtime.GOMAXPROCS(0), CountBits: true}
+}
+
+// NewEngineWith returns an engine over g configured by opts.
+func NewEngineWith(g *graph.Graph, opts Options) *Engine {
+	e := NewEngine(g)
+	if opts.Workers > 0 {
+		e.SetWorkers(opts.Workers)
+	}
+	e.Bandwidth = opts.Bandwidth
+	e.CountBits = !opts.NoCountBits
+	e.Validate = opts.Validate
+	e.Faults = opts.Faults
+	e.Fault = opts.Fault
+	return e
+}
+
+// ReportDecodeFault records one detected decode failure (a corrupted or
+// truncated payload a receiver rejected) in the current round's fault
+// ledger. It is safe to call from concurrent Inbox callbacks; calls made
+// while no structured fault model is installed are dropped.
+func (e *Engine) ReportDecodeFault() {
+	e.decodeFaults.Add(1)
 }
 
 // SetWorkers overrides the worker-pool size (1 forces fully sequential
@@ -257,6 +359,29 @@ func (p ListPayload) EncodeBits(w *bitio.Writer) {
 		w.WriteUint(uint64(v), p.Width)
 	}
 }
+
+// CorruptPayload is what a receiver sees on a wire the fault model
+// corrupted: the exact encoded bits of the original message with one bit
+// flipped. Receivers that know their wire format can attempt to decode it
+// via Reader (internal/oldc does, surfacing failures as DecodeFaults);
+// receivers that do not must treat it as an undecodable message and skip
+// it. EncodeBits re-emits the damaged bits verbatim, so the corrupted
+// message accounts exactly the same size as the original.
+type CorruptPayload struct {
+	Bits []byte
+	NBit int
+}
+
+// EncodeBits implements Payload.
+func (p CorruptPayload) EncodeBits(w *bitio.Writer) {
+	r := bitio.NewReader(p.Bits, p.NBit)
+	for i := 0; i < p.NBit; i++ {
+		w.WriteBit(r.ReadBit())
+	}
+}
+
+// Reader returns a bitio.Reader over the corrupted bits.
+func (p CorruptPayload) Reader() *bitio.Reader { return bitio.NewReader(p.Bits, p.NBit) }
 
 // Composite concatenates several payloads into one message.
 type Composite []Payload
