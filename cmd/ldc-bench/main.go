@@ -12,44 +12,96 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; it returns the process exit code so the deferred
+// CPU-profile stop executes before os.Exit.
+func run() int {
 	quick := flag.Bool("quick", false, "run reduced-size sweeps")
-	run := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+	runIDs := flag.String("run", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	simbench := flag.String("simbench", "", "run the simulator microbenchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	chaosbench := flag.String("chaosbench", "", "run detect-and-repair solving under every built-in fault schedule and write machine-readable JSON to this path ('-' for stdout), then exit")
+	tracePath := flag.String("trace", "", "run the canonical traced Δ=64 solve, write its ldc-trace/v1 JSONL to this path ('-' for stdout), verify reconciliation, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address during the run")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	if *tracePath != "" {
+		if err := bench.RunTraced(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *simbench != "" {
 		rep := bench.RunSimBench()
 		if err := rep.WriteJSON(*simbench); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *algbench != "" {
 		rep := bench.RunAlgBench()
 		if err := rep.WriteJSON(*algbench); err != nil {
 			fmt.Fprintf(os.Stderr, "algbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *chaosbench != "" {
 		rep := bench.RunChaosBench()
 		if err := rep.WriteJSON(*chaosbench); err != nil {
 			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	s := bench.Suite{Quick: *quick}
@@ -60,14 +112,14 @@ func main() {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 	var selected []string
-	if *run == "all" {
+	if *runIDs == "all" {
 		selected = order
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, id)
 		}
@@ -91,6 +143,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -9,7 +9,8 @@
 //	ldc-run -graph torus -rows 8 -cols 8 -algo mis
 //	ldc-run -graph regular -n 64 -deg 8 -algo oldc -kappa 6
 //	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
-//	ldc-run -algo oldc -chaos storm -repair
+//	ldc-run -algo oldc -trace run.jsonl          # then: ldc-trace run.jsonl
+//	ldc-run -algo delta1 -cpuprofile cpu.out
 package main
 
 import (
@@ -18,7 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/baseline"
 	"repro/internal/chaos"
@@ -27,6 +32,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/linial"
 	"repro/internal/mis"
+	"repro/internal/obs"
 	"repro/internal/oldc"
 	"repro/internal/seq"
 	"repro/internal/sim"
@@ -62,11 +68,15 @@ type output struct {
 	RepairRounds int      `json:"repair_rounds,omitempty"`
 	Fallback     int      `json:"fallback_recolorings,omitempty"`
 	ResidualBad  []int    `json:"residual_violators,omitempty"`
-
-	roundMaxBits []int // -trace timeline (not serialized)
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; it returns the process exit code so deferred
+// cleanups (trace flush, CPU profile stop) execute before os.Exit.
+func run() int {
 	var (
 		gname  = flag.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric")
 		n      = flag.Int("n", 64, "node count (where applicable)")
@@ -82,37 +92,87 @@ func main() {
 		spec   = flag.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
 		repair = flag.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
 		asJSON = flag.Bool("json", false, "emit the full result as JSON")
-		trace  = flag.Bool("trace", false, "print the per-round maximum message size timeline")
+
+		tracePath   = flag.String("trace", "", "write an ldc-trace/v1 JSONL round trace to this path ('-' = stdout); summarize with ldc-trace")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-style text metrics on this address at /metrics (keeps the process alive after the run)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address during the run")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
+	var tracer *obs.JSONL
+	if *tracePath != "" {
+		switch *algo {
+		case "mis", "greedy":
+			log.Printf("-trace is not supported for -algo %s (no simulator engine to observe)", *algo)
+			return 2
+		}
+		w := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			die(err)
+			defer f.Close()
+			w = f
+		}
+		tracer = obs.NewJSONL(w)
+		defer tracer.Close()
+	}
+
 	g := buildGraph(*gname, *n, *deg, *p, *rows, *cols, *dim, *radius, *seed)
 	out := output{Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Algorithm: *algo, SeedUsed: *seed}
+	obs.EmitStart(tracerOrNil(tracer), obs.RunInfo{Algo: *algo, Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Seed: *seed})
 
 	if (*spec != "" || *repair) && *algo != "oldc" {
 		log.Fatalf("-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
 	}
 
+	// engineOpts carries the observers into every engine this command
+	// creates directly; the congest/arb layers thread them further down.
+	engineOpts := sim.Options{Tracer: tracerOrNil(tracer), Metrics: reg}
+	// traceStats accumulates the stats of exactly the engines the tracer
+	// observed, so the end event reconciles with the round events.
+	var traceStats sim.Stats
+
 	switch *algo {
 	case "delta1":
-		res, err := congest.DeltaPlusOne(g, congest.Config{})
+		res, err := congest.DeltaPlusOne(g, congest.Config{Tracer: tracerOrNil(tracer), Metrics: reg})
 		die(err)
 		fill(&out, res.Stats, res.Phi)
+		traceStats = res.Stats
 		out.Valid = coloring.CheckProper(g, res.Phi, g.MaxDegree()+1) == nil
 	case "linear":
-		phi, stats, err := baseline.LinearDeltaPlusOne(sim.NewEngine(g), g)
+		phi, stats, err := baseline.LinearDeltaPlusOne(sim.NewEngineWith(g, engineOpts), g)
 		die(err)
 		fill(&out, stats, phi)
+		traceStats = stats
 		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
 	case "slow":
-		phi, stats, err := baseline.SlowFold(sim.NewEngine(g), g)
+		phi, stats, err := baseline.SlowFold(sim.NewEngineWith(g, engineOpts), g)
 		die(err)
 		fill(&out, stats, phi)
+		traceStats = stats
 		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
 	case "luby":
-		phi, stats, err := baseline.Luby(sim.NewEngine(g), g, *seed)
+		phi, stats, err := baseline.Luby(sim.NewEngineWith(g, engineOpts), g, *seed)
 		die(err)
 		fill(&out, stats, phi)
+		traceStats = stats
 		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
 	case "greedy":
 		in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+2, *seed)
@@ -133,12 +193,13 @@ func main() {
 			out.Independent = set
 		}
 	case "mis-luby":
-		set, stats, err := mis.Luby(sim.NewEngine(g), g, *seed)
+		set, stats, err := mis.Luby(sim.NewEngineWith(g, engineOpts), g, *seed)
 		die(err)
 		out.Rounds = stats.Rounds
 		out.Messages = stats.Messages
 		out.TotalBits = stats.TotalBits
 		out.MaxMsgBits = stats.MaxMessageBits
+		traceStats = stats
 		out.Valid = mis.Check(g, set) == nil
 		out.MISSize = countTrue(set)
 		if *asJSON {
@@ -146,13 +207,14 @@ func main() {
 		}
 	case "oldc":
 		o := graph.OrientByID(g)
-		// The Linial substrate runs fault-free: the chaos harness targets
-		// the OLDC phase, whose decode paths are hardened against damage.
+		// The Linial substrate runs fault-free and untraced: the chaos
+		// harness and the tracer both target the OLDC phase, so the trace's
+		// end totals reconcile against the solve engines alone.
 		init, m, _, err := linial.Proper(sim.NewEngine(g), graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
 		die(err)
 		inst := coloring.SquareSumOrientedRange(o, 4096, *kappa, 1, 3, *seed)
 		in := oldc.Input{O: o, SpaceSize: 4096, Lists: inst.Lists, InitColors: init, M: m}
-		var simOpts sim.Options
+		simOpts := engineOpts
 		if *spec != "" {
 			model, err := resolveChaos(*spec, uint64(*seed), g)
 			die(err)
@@ -187,6 +249,7 @@ func main() {
 			runStats = stats
 			out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
 		}
+		traceStats = runStats
 		total := runStats.TotalFaults()
 		out.Dropped = total.Dropped
 		out.Corrupted = total.Corrupted
@@ -196,6 +259,11 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algo)
 	}
 
+	if tracer != nil {
+		tracer.End(traceStats.TraceTotals())
+		die(tracer.Flush())
+	}
+
 	if *asJSON {
 		// Include the edge list so the document is self-contained and can
 		// be piped into ldc-verify.
@@ -203,35 +271,59 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		die(enc.Encode(out))
-		return
-	}
-	fmt.Printf("graph=%s n=%d m=%d Δ=%d\n", out.Graph, out.N, out.M, out.MaxDegree)
-	fmt.Printf("algo=%s rounds=%d messages=%d total=%d bits max-msg=%d bits\n",
-		out.Algorithm, out.Rounds, out.Messages, out.TotalBits, out.MaxMsgBits)
-	if out.ColorsUsed > 0 {
-		fmt.Printf("colors used: %d\n", out.ColorsUsed)
-	}
-	if out.MISSize > 0 {
-		fmt.Printf("MIS size: %d\n", out.MISSize)
-	}
-	if out.ChaosSpec != "" {
-		fmt.Printf("chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
-			out.ChaosSpec, out.Dropped, out.Corrupted, out.DecodeFaults)
-	}
-	if out.SurvivalRate != nil {
-		fmt.Printf("survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
-			*out.SurvivalRate, out.InitialBad, out.Repairs, out.RepairRounds, out.Fallback, len(out.ResidualBad))
-	}
-	fmt.Printf("valid: %v\n", out.Valid)
-	if *trace && len(out.roundMaxBits) > 0 {
-		fmt.Println("round : max message bits")
-		for r, bits := range out.roundMaxBits {
-			fmt.Printf("%5d : %s (%d)\n", r, bar(bits, maxOf(out.roundMaxBits)), bits)
+	} else {
+		fmt.Printf("graph=%s n=%d m=%d Δ=%d\n", out.Graph, out.N, out.M, out.MaxDegree)
+		fmt.Printf("algo=%s rounds=%d messages=%d total=%d bits max-msg=%d bits\n",
+			out.Algorithm, out.Rounds, out.Messages, out.TotalBits, out.MaxMsgBits)
+		if out.ColorsUsed > 0 {
+			fmt.Printf("colors used: %d\n", out.ColorsUsed)
 		}
+		if out.MISSize > 0 {
+			fmt.Printf("MIS size: %d\n", out.MISSize)
+		}
+		if out.ChaosSpec != "" {
+			fmt.Printf("chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
+				out.ChaosSpec, out.Dropped, out.Corrupted, out.DecodeFaults)
+		}
+		if out.SurvivalRate != nil {
+			fmt.Printf("survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
+				*out.SurvivalRate, out.InitialBad, out.Repairs, out.RepairRounds, out.Fallback, len(out.ResidualBad))
+		}
+		fmt.Printf("valid: %v\n", out.Valid)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		die(err)
+		runtime.GC()
+		die(pprof.WriteHeapProfile(f))
+		die(f.Close())
+	}
+	if *metricsAddr != "" {
+		log.Printf("serving metrics on http://%s/metrics (Ctrl-C to exit)", *metricsAddr)
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := reg.WriteText(w); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		})
+		die(http.ListenAndServe(*metricsAddr, nil))
+	}
+
 	if !out.Valid {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// tracerOrNil converts a possibly-nil *obs.JSONL into an obs.Tracer that is
+// a true nil interface when no trace was requested, so the engine's
+// zero-overhead nil check works.
+func tracerOrNil(tr *obs.JSONL) obs.Tracer {
+	if tr == nil {
+		return nil
+	}
+	return tr
 }
 
 // resolveChaos interprets spec as a built-in schedule name first and a
@@ -243,28 +335,6 @@ func resolveChaos(spec string, seed uint64, g *graph.Graph) (sim.FaultModel, err
 		}
 	}
 	return chaos.Parse(spec, seed, g)
-}
-
-func bar(v, max int) string {
-	if max == 0 {
-		return ""
-	}
-	n := v * 40 / max
-	s := make([]byte, n)
-	for i := range s {
-		s[i] = '#'
-	}
-	return string(s)
-}
-
-func maxOf(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }
 
 func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius float64, seed int64) *graph.Graph {
@@ -306,7 +376,6 @@ func fill(out *output, stats sim.Stats, phi coloring.Assignment) {
 	out.MaxMsgBits = stats.MaxMessageBits
 	out.ColorsUsed = coloring.CountColors(phi)
 	out.Coloring = phi
-	out.roundMaxBits = stats.RoundMaxBits
 }
 
 func countTrue(set []bool) int {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSummarizeSample pins the table rendering and the OK verdict on the
+// committed fixture (one basic phase, one repair phase, faults present, one
+// synthetic round).
+func TestSummarizeSample(t *testing.T) {
+	f, err := os.Open("testdata/sample.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	if code := summarize(f, &out); code != exitOK {
+		t.Fatalf("exit code %d, want %d\noutput:\n%s", code, exitOK, out.String())
+	}
+	want := strings.Join([]string{
+		"run: algo=oldc graph=regular n=8 m=12 Δ=3 seed=7",
+		"phase oldc/basic {gap=0 h=2}",
+		"round  active    msgs       bits  maxbits  dropped  corrupt  decode",
+		"    0       8      24        192        8        0        0       0  ################################",
+		"    1       6      18        108       12        2        0       0  ##################",
+		"phase oldc/repair {retry=0 violators=2}",
+		"round  active    msgs       bits  maxbits  dropped  corrupt  decode",
+		"    0       2       2         14        7        0        1       1  ##",
+		"totals: rounds=4 (3 traced, 1 synthetic) msgs=44 bits=314 maxbits=12 dropped=2 corrupted=1 decode-faults=1",
+		"reconciliation: OK",
+	}, "\n") + "\n"
+	if out.String() != want {
+		t.Fatalf("table drifted:\ngot:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestSummarizeExitCodes pins the 0/1/2 contract: reconciliation mismatch
+// is 1, malformed input is 2.
+func TestSummarizeExitCodes(t *testing.T) {
+	mismatch := `{"t":"round","round":0,"active":1,"msgs":2,"bits":10,"maxbits":5}` + "\n" +
+		`{"t":"end","rounds":1,"msgs":2,"bits":11,"maxbits":5}` + "\n"
+	var out bytes.Buffer
+	if code := summarize(strings.NewReader(mismatch), &out); code != exitMismatch {
+		t.Fatalf("mismatched totals: exit code %d, want %d", code, exitMismatch)
+	}
+	if !strings.Contains(out.String(), "reconciliation: FAIL") {
+		t.Fatalf("missing FAIL verdict in:\n%s", out.String())
+	}
+	if code := summarize(strings.NewReader("{not json}\n"), &out); code != exitMalformed {
+		t.Fatalf("malformed input: exit code %d, want %d", code, exitMalformed)
+	}
+	if code := summarize(strings.NewReader(`{"t":"mystery"}`+"\n"), &out); code != exitMalformed {
+		t.Fatalf("unknown event kind: exit code %d, want %d", code, exitMalformed)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/linial"
+	"repro/internal/obs"
 	"repro/internal/oldc"
 	"repro/internal/sim"
 )
@@ -42,6 +43,14 @@ type Config struct {
 	// callers enforce a CONGEST bandwidth assertion across the whole
 	// pipeline.
 	EngineHook func(*sim.Engine)
+	// Tracer, when non-nil, receives the driver's phase events (stages,
+	// batches, fallback) and is installed on every engine the driver
+	// creates, so per-round events from all sub-instances land in one
+	// trace stream.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is installed on every engine the driver
+	// creates.
+	Metrics *obs.Registry
 	// Opts is handed to the OLDC solver.
 	Opts oldc.Options
 }
@@ -75,6 +84,12 @@ func SolveListArbdefective(g *graph.Graph, in *coloring.Instance, initColors []i
 	}
 	newEng := func(g2 *graph.Graph) *sim.Engine {
 		e := sim.NewEngine(g2)
+		if cfg.Tracer != nil {
+			e.SetTracer(cfg.Tracer)
+		}
+		if cfg.Metrics != nil {
+			e.SetMetrics(cfg.Metrics)
+		}
 		if cfg.EngineHook != nil {
 			cfg.EngineHook(e)
 		}
@@ -132,7 +147,7 @@ func SolveListArbdefective(g *graph.Graph, in *coloring.Instance, initColors []i
 			// Commit-valid-subset drops stalled the halving argument;
 			// finish the leftovers with the deterministic fallback
 			// schedule (see DESIGN.md substitution 2).
-			st, err := fallbackSchedule(g, in, initColors, m, phi, av, colorTime, &batch, newEng)
+			st, err := fallbackSchedule(g, in, initColors, m, phi, av, colorTime, &batch, newEng, cfg.Tracer)
 			res.Stats = res.Stats.Add(st)
 			if err != nil {
 				return res, err
@@ -150,6 +165,7 @@ func SolveListArbdefective(g *graph.Graph, in *coloring.Instance, initColors []i
 		if len(unc) == 0 {
 			break
 		}
+		obs.EmitPhase(cfg.Tracer, "arb/stage", obs.Attrs{"stage": res.Stages, "uncolored": len(unc)})
 		sub, orig := g.InducedSubgraph(unc)
 		subDelta := sub.MaxDegree()
 		if subDelta == 0 {
@@ -208,6 +224,7 @@ func SolveListArbdefective(g *graph.Graph, in *coloring.Instance, initColors []i
 				continue
 			}
 			batch++
+			obs.EmitPhase(cfg.Tracer, "arb/batch", obs.Attrs{"stage": res.Stages, "class": class, "members": len(members)})
 			st, orient2, origOf, colored, err := colorBatch(sub, orig, members, boot.Orient, in, av, phi, subInit, m, solve, cfg, newEng)
 			res.Stats = res.Stats.Add(st)
 			if err != nil {
@@ -358,7 +375,7 @@ func colorBatch(sub *graph.Graph, orig []int, members []int, bootOrient *graph.O
 // guaranteed by Σ(d_v(x)+1) > deg(v).
 func fallbackSchedule(g *graph.Graph, in *coloring.Instance, initColors []int, m int,
 	phi coloring.Assignment, av []map[int]int, colorTime []int, batch *int,
-	newEng func(*graph.Graph) *sim.Engine) (sim.Stats, error) {
+	newEng func(*graph.Graph) *sim.Engine, tracer obs.Tracer) (sim.Stats, error) {
 
 	var stats sim.Stats
 	var unc []int
@@ -382,6 +399,10 @@ func fallbackSchedule(g *graph.Graph, in *coloring.Instance, initColors []int, m
 	if err != nil {
 		return stats, fmt.Errorf("arb: fallback reduction: %w", err)
 	}
+	// The per-class picks below are zero-message rounds: they are counted
+	// against the round complexity but never enter an engine, so a trace
+	// records them as a phase attribute rather than round events.
+	obs.EmitPhase(tracer, "arb/fallback", obs.Attrs{"nodes": len(unc), "classes": p})
 	stats.Rounds += p // one round per fallback class
 	for class := 0; class < p; class++ {
 		*batch++

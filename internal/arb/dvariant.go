@@ -31,6 +31,12 @@ func SolveViaDefective(g *graph.Graph, in *coloring.Instance, initColors []int, 
 	}
 	newEng := func(g2 *graph.Graph) *sim.Engine {
 		e := sim.NewEngine(g2)
+		if cfg.Tracer != nil {
+			e.SetTracer(cfg.Tracer)
+		}
+		if cfg.Metrics != nil {
+			e.SetMetrics(cfg.Metrics)
+		}
 		if cfg.EngineHook != nil {
 			cfg.EngineHook(e)
 		}
@@ -74,7 +80,7 @@ func SolveViaDefective(g *graph.Graph, in *coloring.Instance, initColors []int, 
 		subDelta := sub.MaxDegree()
 		if subDelta == 0 || stage >= maxStages {
 			// Finish with the deterministic fallback.
-			st, err := fallbackSchedule(g, in, initColors, m, phi, av, colorTime, &batch, newEng)
+			st, err := fallbackSchedule(g, in, initColors, m, phi, av, colorTime, &batch, newEng, cfg.Tracer)
 			res.Stats = res.Stats.Add(st)
 			if err != nil {
 				return res, err

@@ -23,6 +23,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/graph"
 	"repro/internal/linial"
+	"repro/internal/obs"
 	"repro/internal/oldc"
 	"repro/internal/sim"
 )
@@ -39,6 +40,14 @@ type Config struct {
 	// any single message above this many bits anywhere in the pipeline
 	// fails the run with sim.ErrBandwidth.
 	Bandwidth int
+	// Tracer, when non-nil, receives the pipeline's phase events and is
+	// installed on every engine the pipeline creates (bootstrap, batches,
+	// fallback), producing a single trace stream whose per-round totals
+	// reconcile with Result.Stats.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is installed on every engine the pipeline
+	// creates.
+	Metrics *obs.Registry
 	// Opts is the base OLDC solver configuration.
 	Opts oldc.Options
 }
@@ -64,10 +73,11 @@ type Result struct {
 // or more generally Σ(d_v(x)+1) > deg(v).
 func DegreePlusOneList(g *graph.Graph, in *coloring.Instance, cfg Config) (Result, error) {
 	var res Result
-	eng := sim.NewEngine(g)
+	eng := sim.NewEngineWith(g, sim.Options{Tracer: cfg.Tracer, Metrics: cfg.Metrics})
 	if cfg.Bandwidth > 0 {
 		eng.Bandwidth = cfg.Bandwidth
 	}
+	obs.EmitPhase(cfg.Tracer, "congest/linial-bootstrap", obs.Attrs{"n": g.N()})
 	init, m, bootStats, err := linial.Proper(eng, graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
 	res.Stats = res.Stats.Add(bootStats)
 	if err != nil {
@@ -95,9 +105,12 @@ func DegreePlusOneList(g *graph.Graph, in *coloring.Instance, cfg Config) (Resul
 	if cfg.Bandwidth > 0 {
 		hook = func(e *sim.Engine) { e.Bandwidth = cfg.Bandwidth }
 	}
+	obs.EmitPhase(cfg.Tracer, "congest/arb-driver", obs.Attrs{"m": m})
 	ares, err := arb.SolveListArbdefective(g, in, init, m, solver, arb.Config{
 		ClassFactor: cfg.ClassFactor,
 		EngineHook:  hook,
+		Tracer:      cfg.Tracer,
+		Metrics:     cfg.Metrics,
 		Opts:        cfg.Opts,
 	})
 	res.Stats = res.Stats.Add(ares.Stats)

@@ -3,6 +3,7 @@ package cover
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 )
 
 // CachedFamily is a candidate family in both kernel representations: the
@@ -35,7 +36,9 @@ func NewCachedFamily(t Type) *CachedFamily {
 // because both goroutines compute identical values and one wins
 // LoadOrStore, so results are independent of worker count.
 type FamilyCache struct {
-	m sync.Map // string type key → *CachedFamily
+	m      sync.Map // string type key → *CachedFamily
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewFamilyCache returns an empty cache.
@@ -45,10 +48,25 @@ func NewFamilyCache() *FamilyCache { return &FamilyCache{} }
 func (c *FamilyCache) Get(t Type) *CachedFamily {
 	key := typeKey(t)
 	if v, ok := c.m.Load(key); ok {
+		c.hits.Add(1)
 		return v.(*CachedFamily)
 	}
-	v, _ := c.m.LoadOrStore(key, NewCachedFamily(t))
+	v, loaded := c.m.LoadOrStore(key, NewCachedFamily(t))
+	if loaded {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return v.(*CachedFamily)
+}
+
+// Stats returns the lookup counters accumulated so far. Hits + misses
+// equals the number of Get calls; misses is the number of derivations kept
+// (racing duplicate derivations count as hits for the losers, so the split
+// between the two depends on goroutine scheduling — only the sum and the
+// cached contents are deterministic).
+func (c *FamilyCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len returns the number of distinct types derived so far.

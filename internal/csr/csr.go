@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/coloring"
+	"repro/internal/obs"
 	"repro/internal/oldc"
 	"repro/internal/sim"
 )
@@ -97,6 +98,7 @@ func reduce(eng *sim.Engine, in oldc.Input, cfg Config, solve Solver, levels int
 		phi, stats, err := solve(eng, in, opts)
 		return phi, total.Add(stats), err
 	}
+	obs.EmitPhase(eng.Tracer(), "csr/level", obs.Attrs{"level": levels, "space": in.SpaceSize, "p": cfg.P})
 	n := in.O.N()
 	partSize := (in.SpaceSize + cfg.P - 1) / cfg.P
 	// Subspace-selection instance: color i ∈ [p] stands for subspace

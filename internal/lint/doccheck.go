@@ -1,0 +1,113 @@
+// Package lint implements the repository's in-tree style checks: godoc
+// comment coverage for exported identifiers (doccheck) and markdown
+// relative-link integrity (linkcheck). Both are libraries driven by tests
+// in this package, so `go test ./internal/lint` is the whole enforcement
+// story — no external linter binaries, which keeps CI hermetic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// MissingDocs parses the Go package in dir (test files excluded) and
+// returns one entry per exported identifier that lacks a doc comment, as
+// "file:line: name". It covers package-level types, funcs, vars, consts,
+// and exported methods whose receiver type is itself exported; a comment
+// on a grouped var/const declaration covers every name in the group, which
+// matches how godoc renders them.
+func MissingDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, name))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv := receiverName(d); recv != "" {
+						if !ast.IsExported(recv) {
+							continue // method on an unexported type
+						}
+						report(d.Pos(), recv+"."+d.Name.Name)
+					} else {
+						report(d.Pos(), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if d.Doc != nil {
+								continue // group comment covers the block
+							}
+							for _, name := range s.Names {
+								if name.IsExported() && s.Doc == nil && s.Comment == nil {
+									report(name.Pos(), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if !hasPkgDoc {
+			missing = append(missing, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// receiverName extracts the receiver's type name from a method
+// declaration, unwrapping pointers and generic instantiations; it returns
+// "" for plain functions.
+func receiverName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

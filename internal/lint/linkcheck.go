@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// mdLink matches inline markdown links and images: [text](target) — the
+// capture is the target up to an optional #anchor. Reference-style links
+// are rare in this repo and intentionally out of scope.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// BrokenLinks scans the given markdown files for relative link targets
+// that do not exist on disk, returning one "file: target" entry per broken
+// link. External schemes (http, https, mailto) and pure-anchor links are
+// skipped; anchors on relative links are stripped before the existence
+// check (heading anchors are not validated).
+func BrokenLinks(files []string) ([]string, error) {
+	var broken []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s: %s", file, m[1]))
+				}
+			}
+		}
+	}
+	sort.Strings(broken)
+	return broken, nil
+}
+
+// MarkdownFiles walks root and returns every .md file path, skipping .git
+// and hidden directories.
+func MarkdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if path != root && strings.HasPrefix(info.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	return files, err
+}

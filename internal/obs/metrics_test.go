@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total")
+	c.Add(3)
+	if r.Counter("a_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	if r.Gauge("g") != g {
+		t.Fatal("Gauge is not get-or-create")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	if r.Histogram("h", nil) != h {
+		t.Fatal("Histogram is not get-or-create")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", []float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["sizes"]
+	// ≤10: {1, 10}; ≤100: {11, 100}; +Inf: {1000}.
+	if !reflect.DeepEqual(s.Counts, []int64{2, 2, 1}) {
+		t.Fatalf("bucket counts %v, want [2 2 1]", s.Counts)
+	}
+	if s.Count != 5 || s.Sum != 1122 {
+		t.Fatalf("count=%d sum=%g, want 5/1122", s.Count, s.Sum)
+	}
+}
+
+// TestSnapshotGolden pins the metrics snapshot and the Prometheus text
+// rendering for a fixed sequence of operations.
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricMessages).Add(12)
+	r.Counter(MetricRounds).Add(3)
+	r.Gauge(MetricMaxMessageBits).SetMax(17)
+	h := r.Histogram(MetricRoundMaxBits, []float64{8, 16, 32})
+	h.Observe(7)
+	h.Observe(17)
+	h.Observe(17)
+
+	s := r.Snapshot()
+	wantCounters := map[string]int64{MetricMessages: 12, MetricRounds: 3}
+	if !reflect.DeepEqual(s.Counters, wantCounters) {
+		t.Fatalf("counters %v, want %v", s.Counters, wantCounters)
+	}
+	if s.Gauges[MetricMaxMessageBits] != 17 {
+		t.Fatalf("gauge %d, want 17", s.Gauges[MetricMaxMessageBits])
+	}
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := strings.Join([]string{
+		"# TYPE ldc_sim_messages_total counter",
+		"ldc_sim_messages_total 12",
+		"# TYPE ldc_sim_rounds_total counter",
+		"ldc_sim_rounds_total 3",
+		"# TYPE ldc_sim_max_message_bits gauge",
+		"ldc_sim_max_message_bits 17",
+		"# TYPE ldc_sim_round_max_bits histogram",
+		`ldc_sim_round_max_bits_bucket{le="8"} 1`,
+		`ldc_sim_round_max_bits_bucket{le="16"} 1`,
+		`ldc_sim_round_max_bits_bucket{le="32"} 3`,
+		`ldc_sim_round_max_bits_bucket{le="+Inf"} 3`,
+		"ldc_sim_round_max_bits_sum 41",
+		"ldc_sim_round_max_bits_count 3",
+	}, "\n") + "\n"
+	if text.String() != want {
+		t.Fatalf("text format drifted:\ngot:\n%swant:\n%s", text.String(), want)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").SetMax(int64(j))
+				r.Histogram("h", []float64{500}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 {
+		t.Fatalf("counter %d, want 8000", s.Counters["c"])
+	}
+	if s.Gauges["g"] != 999 {
+		t.Fatalf("gauge %d, want 999", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("histogram count %d, want 8000", s.Histograms["h"].Count)
+	}
+}

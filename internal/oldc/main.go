@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/coloring"
 	"repro/internal/cover"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -70,6 +71,7 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 		for (1 << uint(gAux+1)) <= h {
 			gAux++
 		}
+		obs.EmitPhase(eng.Tracer(), "oldc/class-selection", obs.Attrs{"h": h, "gap": gAux})
 		auxIn := Input{O: o, SpaceSize: h, Lists: auxLists, InitColors: in.InitColors, M: in.M}
 		auxPhi, auxStats, err := SolveMulti(eng, auxIn, Options{Params: pr, Gap: gAux, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache})
 		total = total.Add(auxStats)
@@ -107,7 +109,9 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 	}
 	alg := newTwoPhase(spec)
 	alg.sink = eng
+	obs.EmitPhase(eng.Tracer(), "oldc/two-phase", obs.Attrs{"h": h})
 	stats, err := eng.Run(alg, 3*h+4)
+	publishCacheStats(eng, alg.cache)
 	total = total.Add(stats)
 	if err != nil {
 		return nil, total, err

@@ -1,0 +1,28 @@
+package oldc
+
+import (
+	"repro/internal/cover"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// publishCacheStats folds a run's family-cache lookup counters into the
+// engine's metrics registry (a no-op when either is absent). The hit/miss
+// split is scheduling-dependent — see cover.FamilyCache.Stats — so these
+// counters are for observability, not golden tests.
+func publishCacheStats(eng *sim.Engine, cache *cover.FamilyCache) {
+	if cache == nil {
+		return
+	}
+	reg := eng.Metrics()
+	if reg == nil {
+		return
+	}
+	hits, misses := cache.Stats()
+	if hits > 0 {
+		reg.Counter(obs.MetricFamilyCacheHits).Add(hits)
+	}
+	if misses > 0 {
+		reg.Counter(obs.MetricFamilyCacheMisses).Add(misses)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,7 @@ type ErrResidual struct {
 	Violators []int
 }
 
+// Error reports how many nodes remain in violation, listing the first few.
 func (e *ErrResidual) Error() string {
 	return fmt.Sprintf("oldc: %d nodes still violate their defect bounds after repair: %v",
 		len(e.Violators), truncated(e.Violators, 16))
@@ -96,7 +98,8 @@ func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assign
 
 	for iter := 0; iter < maxRepairs && len(violators) > 0; iter++ {
 		rep.ResidualSizes = append(rep.ResidualSizes, len(violators))
-		subPhi, subStats, rerr := repairResidual(in, phi, violators, solveOpts)
+		obs.EmitPhase(eng.Tracer(), "oldc/repair", obs.Attrs{"retry": iter, "violators": len(violators)})
+		subPhi, subStats, rerr := repairResidual(eng, in, phi, violators, solveOpts)
 		rep.Stats = rep.Stats.Add(subStats)
 		rep.RepairRounds += subStats.Rounds
 		rep.Repairs++
@@ -115,6 +118,7 @@ func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assign
 	}
 
 	if len(violators) > 0 {
+		obs.EmitPhase(eng.Tracer(), "oldc/greedy-sweep", obs.Attrs{"violators": len(violators)})
 		rep.FallbackNodes = greedySweep(in.O, in.Lists, phi, &violators, maxSweeps)
 	}
 	if len(violators) > 0 {
@@ -131,8 +135,10 @@ func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assign
 // induced oriented subgraph, lists restricted to colors that still have
 // defect budget left after subtracting same-colored fixed out-neighbors,
 // and the original proper init coloring (a proper coloring stays proper on
-// an induced subgraph). Runs on a fresh fault-free engine.
-func repairResidual(in Input, phi coloring.Assignment, violators []int, opts Options) (coloring.Assignment, sim.Stats, error) {
+// an induced subgraph). Runs on a fresh fault-free engine that inherits the
+// parent engine's tracer and metrics registry, so repairs show up in the
+// same trace as the faulty run they fix.
+func repairResidual(eng *sim.Engine, in Input, phi coloring.Assignment, violators []int, opts Options) (coloring.Assignment, sim.Stats, error) {
 	subO, orig := graph.InducedOriented(in.O, violators)
 	inResidual := make(map[int]bool, len(violators))
 	for _, v := range violators {
@@ -174,7 +180,8 @@ func repairResidual(in Input, phi coloring.Assignment, violators []int, opts Opt
 	}
 	rin := Input{O: subO, SpaceSize: in.SpaceSize, Lists: lists, InitColors: inits, M: in.M}
 	ropts := Options{Params: opts.Params, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache}
-	return SolveMulti(sim.NewEngine(subO.Graph()), rin, ropts)
+	reng := sim.NewEngineWith(subO.Graph(), sim.Options{Tracer: eng.Tracer(), Metrics: eng.Metrics()})
+	return SolveMulti(reng, rin, ropts)
 }
 
 // greedySweep deterministically recolors violators in ascending id order,

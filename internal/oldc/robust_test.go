@@ -177,7 +177,7 @@ func TestRepairResidualBudgets(t *testing.T) {
 	if !reflect.DeepEqual(violators, []int{1, 2}) {
 		t.Fatalf("setup: violators = %v, want [1 2]", violators)
 	}
-	subPhi, _, err := repairResidual(in, phi, violators, Options{})
+	subPhi, _, err := repairResidual(sim.NewEngine(g), in, phi, violators, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

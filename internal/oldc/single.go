@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitio"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -339,7 +340,9 @@ func runBasic(eng *sim.Engine, spec basicSpec) ([]int, sim.Stats, error) {
 		return nil, sim.Stats{}, err
 	}
 	alg.sink = eng
+	obs.EmitPhase(eng.Tracer(), "oldc/basic", obs.Attrs{"h": spec.h, "gap": spec.gap})
 	stats, err := eng.Run(alg, spec.h+3)
+	publishCacheStats(eng, alg.cache)
 	if err != nil {
 		return nil, stats, err
 	}

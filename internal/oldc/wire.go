@@ -109,6 +109,8 @@ type DecodeError struct {
 	Err    error  // underlying bitio error, if any
 }
 
+// Error describes the malformed message, including the underlying bitio
+// error when there is one.
 func (e *DecodeError) Error() string {
 	if e.Err != nil {
 		return fmt.Sprintf("oldc: bad %s message: %s: %v", e.Kind, e.Reason, e.Err)
@@ -116,6 +118,7 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("oldc: bad %s message: %s", e.Kind, e.Reason)
 }
 
+// Unwrap exposes the underlying bitio error for errors.Is/As chains.
 func (e *DecodeError) Unwrap() error { return e.Err }
 
 // maxWireDefect bounds the defect field a decoder accepts: no instance in

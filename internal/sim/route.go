@@ -2,9 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
-	"sync"
+	"repro/internal/obs"
 )
 
 // writerPool recycles bitio.Writers across rounds and engines so that
@@ -301,6 +302,49 @@ func (rt *router) fillShard(s int, outboxes []Outbox) {
 	}
 }
 
+// observeRound reports one executed round to the installed tracer and
+// metrics registry. It runs on the engine's round loop after the
+// order-independent shard merge (and after the Inbox phase, so detected
+// decode faults are included), which is what makes traces byte-identical
+// across worker counts. Called only when a tracer or registry is
+// installed, so the disabled path costs a single nil check per round.
+func (e *Engine) observeRound(round int, outboxes []Outbox, delivered, roundBits int64, roundMax int, faults RoundFaults) {
+	active := 0
+	for v := range outboxes {
+		if len(outboxes[v].sends) > 0 {
+			active++
+		}
+	}
+	if tr := e.tracer; tr != nil {
+		tr.Round(obs.RoundInfo{
+			Round:        round,
+			Active:       active,
+			Messages:     delivered,
+			Bits:         roundBits,
+			MaxBits:      roundMax,
+			Dropped:      faults.Dropped,
+			Corrupted:    faults.Corrupted,
+			DecodeFaults: faults.DecodeFaults,
+		})
+	}
+	if reg := e.metrics; reg != nil {
+		reg.Counter(obs.MetricRounds).Add(1)
+		reg.Counter(obs.MetricMessages).Add(delivered)
+		reg.Counter(obs.MetricBits).Add(roundBits)
+		reg.Gauge(obs.MetricMaxMessageBits).SetMax(int64(roundMax))
+		reg.Histogram(obs.MetricRoundMaxBits, obs.RoundMaxBitsBuckets).Observe(float64(roundMax))
+		if faults.Dropped != 0 {
+			reg.Counter(obs.MetricDropped).Add(faults.Dropped)
+		}
+		if faults.Corrupted != 0 {
+			reg.Counter(obs.MetricCorrupted).Add(faults.Corrupted)
+		}
+		if faults.DecodeFaults != 0 {
+			reg.Counter(obs.MetricDecodeFaults).Add(faults.DecodeFaults)
+		}
+	}
+}
+
 // validateSends checks every targeted send against the graph's adjacency.
 // It runs only when Engine.Validate is set, after the Outbox phase, so the
 // SendTo fast path stays branch-free.
@@ -346,7 +390,8 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 	rt := newRouter(e, n)
 	quiescent, canQuiesce := alg.(Quiescent)
 	ledger := e.Faults != nil
-	if ledger {
+	observing := e.tracer != nil || e.metrics != nil
+	if ledger || observing {
 		e.decodeFaults.Store(0)
 	}
 	for round := 0; round < maxRounds; round++ {
@@ -366,6 +411,7 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 			}
 		}
 		// Phase 2: sharded routing with bit accounting.
+		bitsBefore := stats.TotalBits
 		delivered, roundMax, faults, err := rt.route(round, outboxes, &stats)
 		if err != nil {
 			return stats, err
@@ -377,11 +423,17 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 		e.parallel(n, func(v int) {
 			alg.Inbox(v, rt.inbox(v))
 		})
-		if ledger {
+		if ledger || observing {
 			// Decode faults reported by the Inbox callbacks above complete
-			// this round's ledger entry (len(Faults) tracks Rounds).
+			// this round's accounting; the swap must happen exactly once.
 			faults.DecodeFaults = e.decodeFaults.Swap(0)
-			stats.Faults = append(stats.Faults, faults)
+			if ledger {
+				// len(Faults) tracks Rounds.
+				stats.Faults = append(stats.Faults, faults)
+			}
+			if observing {
+				e.observeRound(round, outboxes, delivered, stats.TotalBits-bitsBefore, roundMax, faults)
+			}
 		}
 		stats.Rounds++
 		if delivered == 0 && canQuiesce && quiescent.Quiesced() {

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Payload is a message body. EncodeBits must write the full wire encoding;
@@ -153,6 +154,21 @@ func (s Stats) TotalFaults() RoundFaults {
 	return t
 }
 
+// TraceTotals converts the statistics to the obs end-event totals that a
+// trace's per-round events reconcile against (see obs.Reconcile).
+func (s Stats) TraceTotals() obs.Totals {
+	f := s.TotalFaults()
+	return obs.Totals{
+		Rounds:       s.Rounds,
+		Messages:     s.Messages,
+		Bits:         s.TotalBits,
+		MaxBits:      s.MaxMessageBits,
+		Dropped:      f.Dropped,
+		Corrupted:    f.Corrupted,
+		DecodeFaults: f.DecodeFaults,
+	}
+}
+
 // FaultOutcome is a fault model's decision for one wire in one round.
 type FaultOutcome uint8
 
@@ -214,6 +230,14 @@ type Engine struct {
 	// per-round fault ledger in Stats.
 	Faults FaultModel
 
+	// tracer receives one obs round event per round plus whatever phase
+	// events the algorithm layers emit. nil disables tracing entirely: the
+	// round loop then takes the exact pre-observability code path.
+	tracer obs.Tracer
+	// metrics receives the engine's counter/gauge/histogram updates
+	// (rounds, messages, bits, fault ledger). nil disables metrics.
+	metrics *obs.Registry
+
 	// decodeFaults counts ReportDecodeFault calls during the current
 	// round's Inbox phase; the engine drains it into the ledger.
 	decodeFaults atomic.Int64
@@ -230,6 +254,12 @@ type Options struct {
 	Faults FaultModel
 	// Fault is the legacy drop hook (see Engine.Fault).
 	Fault func(round, from, to int) bool
+	// Tracer installs a round-level execution tracer (see obs.Tracer and
+	// docs/OBSERVABILITY.md). nil disables tracing.
+	Tracer obs.Tracer
+	// Metrics installs a metrics registry the engine reports into. nil
+	// disables metrics.
+	Metrics *obs.Registry
 }
 
 // NewEngine returns an engine over the communication graph g.
@@ -248,8 +278,26 @@ func NewEngineWith(g *graph.Graph, opts Options) *Engine {
 	e.Validate = opts.Validate
 	e.Faults = opts.Faults
 	e.Fault = opts.Fault
+	e.tracer = opts.Tracer
+	e.metrics = opts.Metrics
 	return e
 }
+
+// SetTracer installs (or, with nil, removes) the engine's round tracer.
+// Multi-phase solvers use it to propagate observability onto the fresh
+// engines they create for sub-instances.
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
+
+// Tracer returns the installed round tracer (nil when tracing is off).
+func (e *Engine) Tracer() obs.Tracer { return e.tracer }
+
+// SetMetrics installs (or, with nil, removes) the engine's metrics
+// registry.
+func (e *Engine) SetMetrics(r *obs.Registry) { e.metrics = r }
+
+// Metrics returns the installed metrics registry (nil when metrics are
+// off).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // ReportDecodeFault records one detected decode failure (a corrupted or
 // truncated payload a receiver rejected) in the current round's fault
