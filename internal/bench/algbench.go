@@ -1,8 +1,9 @@
 package bench
 
 import (
+	"fmt"
+	"os"
 	"runtime"
-	"testing"
 	"time"
 
 	"repro/internal/coloring"
@@ -13,8 +14,9 @@ import (
 
 // AlgBenchEntry is one algorithm-layer benchmark result: a full oldc.Solve
 // invocation (γ-class selection + two-phase algorithm) on a fixed random
-// regular instance. Per-solve figures come from testing.Benchmark, so one
-// benchmark iteration is one complete validated solve.
+// regular instance. One iteration is one complete validated solve; every
+// case runs at least algBenchMinIters iterations and algBenchMinTime of
+// wall time, so no figure in the report is a single-shot measurement.
 type AlgBenchEntry struct {
 	Name          string  `json:"name"`
 	N             int     `json:"n"`
@@ -28,16 +30,29 @@ type AlgBenchEntry struct {
 }
 
 // AlgBenchReport is the machine-readable BENCH_oldc.json payload, the
-// algorithm-layer sibling of SimBenchReport (schema ldc-oldc-bench/v1).
-// Future PRs append fresh snapshots to track the compute-phase trajectory.
+// algorithm-layer sibling of SimBenchReport (schema ldc-oldc-bench/v1;
+// go_max_procs and workers are additive v1 fields — absent means an older
+// snapshot that ran with the defaults). Future PRs append fresh snapshots
+// to track the compute-phase trajectory.
 type AlgBenchReport struct {
-	Schema  string          `json:"schema"`
-	Date    string          `json:"date"`
-	GoOS    string          `json:"goos"`
-	GoArch  string          `json:"goarch"`
-	CPUs    int             `json:"cpus"`
-	Entries []AlgBenchEntry `json:"benchmarks"`
+	Schema     string          `json:"schema"`
+	Date       string          `json:"date"`
+	GoOS       string          `json:"goos"`
+	GoArch     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"go_max_procs,omitempty"`
+	Workers    int             `json:"workers,omitempty"`
+	Entries    []AlgBenchEntry `json:"benchmarks"`
 }
+
+// Benchmark floor: every case runs at least this many iterations and at
+// least this much accumulated solve time, whichever is later. The old
+// testing.Benchmark harness let slow cases finish after one iteration,
+// which made the Δ=128 row statistically meaningless.
+const (
+	algBenchMinIters = 3
+	algBenchMinTime  = 2 * time.Second
+)
 
 // algBenchCase is a Theorem 1.1 solve workload: a random Δ-regular graph
 // with square-sum lists, identity initial coloring (m = n). Space and κ
@@ -71,40 +86,55 @@ func algBenchInput(c algBenchCase) (oldc.Input, *sim.Engine) {
 
 // RunAlgBench executes the OLDC compute-phase benchmarks and returns the
 // report. The instance and engine are constructed once per case; each
-// benchmark iteration runs oldc.Solve end to end (including validation),
-// so the figures capture the per-node compute hot path the family cache
-// and bitset kernels target.
+// iteration runs oldc.Solve end to end (including validation), so the
+// figures capture the per-node compute hot path the family cache, bump
+// arenas and batched conflict kernels target. Memory figures are
+// whole-process ReadMemStats deltas around the timed loop (GC'd first),
+// matching what testing.Benchmark's -benchmem reports.
 func RunAlgBench() AlgBenchReport {
 	rep := AlgBenchReport{
-		Schema: "ldc-oldc-bench/v1",
-		Date:   time.Now().UTC().Format("2006-01-02"),
-		GoOS:   runtime.GOOS,
-		GoArch: runtime.GOARCH,
-		CPUs:   runtime.NumCPU(),
+		Schema:     "ldc-oldc-bench/v1",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, c := range algBenchCases {
 		in, eng := algBenchInput(c)
+		if rep.Workers == 0 {
+			rep.Workers = eng.Workers()
+		}
 		rounds := 0
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				_, stats, err := oldc.Solve(eng, in, oldc.Options{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				rounds = stats.Rounds
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		iters := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < algBenchMinTime || iters < algBenchMinIters {
+			_, stats, err := oldc.Solve(eng, in, oldc.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", c.name, err))
 			}
-		})
-		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			rounds = stats.Rounds
+			iters++
+			elapsed = time.Since(start)
+		}
+		runtime.ReadMemStats(&after)
+		if iters < 2 {
+			fmt.Fprintf(os.Stderr, "bench: warning: %s finished after %d iteration(s); figures are single-shot\n", c.name, iters)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
 		rep.Entries = append(rep.Entries, AlgBenchEntry{
 			Name:          c.name,
 			N:             c.n,
 			Delta:         c.delta,
 			Rounds:        rounds,
-			Iters:         r.N,
+			Iters:         iters,
 			NsPerSolve:    ns,
-			BytesPerSolve: float64(r.MemBytes) / float64(r.N),
-			AllocsPerOp:   float64(r.MemAllocs) / float64(r.N),
+			BytesPerSolve: float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+			AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(iters),
 			NodesPerSec:   float64(c.n) / ns * 1e9,
 		})
 	}

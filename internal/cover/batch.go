@@ -1,0 +1,120 @@
+package cover
+
+import "math/bits"
+
+// The batched family-vs-family kernel answers, in one sweep over the two
+// color lists, the question the P1 stage asks per neighbor: which of my
+// candidate sets τ&g-conflict with at least one of yours? The scalar path
+// walks set × set × color; the batched path instead walks the aligned
+// color lists once and maintains one saturating counter per (own set,
+// neighbor set) pair in bit-sliced form — every neighbor set occupies one
+// bit lane, every own set one counter row — so a single list position pair
+// updates up to 64 × 64 conflict weights with a handful of word ops.
+
+// kernelMaxTau bounds the τ the bit-sliced counters can represent (8
+// planes saturate at 255 ≥ τ); larger values fall back to the scalar
+// sweep. Practical profiles keep τ far below this.
+const kernelMaxTau = 255
+
+// ConflictKernel is reusable scratch for FamilyConflictMask. The zero
+// value is ready to use; a kernel must not be used concurrently. Hot paths
+// should hold one per worker (e.g. in a sync.Pool) — the counter planes
+// are a few KB, and reusing them avoids re-zeroing the full array on every
+// call (only lanes touched by a call are cleared on its way out).
+type ConflictKernel struct {
+	planes [64][8]uint64 // planes[i][p]: bit s = bit p of weight(own i, nbr s)
+	sat    [64]uint64    // bit s set once weight(own i, nbr s) overflowed
+	used   uint64        // own-set rows with any live counter bits
+}
+
+// FamilyConflictMask returns a bitmask over f1's candidate sets: bit i is
+// set iff ConflictWeight(f1.Sets[i], f2.Sets[s], g) ≥ tau for at least one
+// set s of f2 — exactly the per-neighbor predicate of the P1 choice. Only
+// the first 64 sets of f1 are representable; when either family lacks its
+// compact membership index or τ exceeds the counter range, the scalar
+// reference sweep computes the same mask.
+func (k *ConflictKernel) FamilyConflictMask(f1, f2 *CachedFamily, tau, g int) uint64 {
+	if f1.NzMask == nil || f2.NzMask == nil || tau < 1 || tau > kernelMaxTau {
+		return familyConflictMaskSlow(f1, f2, tau, g)
+	}
+	p := bits.Len(uint(tau)) // counters hold [0, 2^p−1] with 2^p−1 ≥ τ
+	// Sweep only the colors that occur in at least one candidate set (the
+	// compacted nonzero rows) — candidate sets cover a small fraction of
+	// the lists, and zero-mask positions cannot change any counter.
+	l1, m1 := f1.NzColors, f1.NzMask
+	l2, m2 := f2.NzColors, f2.NzMask
+	lo := 0
+	for j1, x := range l1 {
+		vm := m1[j1]
+		for lo < len(l2) && l2[lo] < x-g {
+			lo++
+		}
+		for j2 := lo; j2 < len(l2) && l2[j2] <= x+g; j2++ {
+			um := m2[j2]
+			for mm := vm; mm != 0; mm &= mm - 1 {
+				i := bits.TrailingZeros64(mm)
+				k.used |= 1 << uint(i)
+				// Bit-sliced saturating +1 on every lane in um.
+				pl := &k.planes[i]
+				carry := um
+				for q := 0; q < p; q++ {
+					nc := pl[q] & carry
+					pl[q] ^= carry
+					carry = nc
+					if carry == 0 {
+						break
+					}
+				}
+				k.sat[i] |= carry
+			}
+		}
+	}
+	// Threshold: lane weight ≥ τ iff it overflowed or the bit-sliced
+	// compare says so; clear the touched rows for the next call.
+	var out uint64
+	for mm := k.used; mm != 0; mm &= mm - 1 {
+		i := bits.TrailingZeros64(mm)
+		pl := &k.planes[i]
+		ge := k.sat[i]
+		eq := ^uint64(0)
+		for q := p - 1; q >= 0; q-- {
+			if tau&(1<<uint(q)) != 0 {
+				eq &= pl[q]
+			} else {
+				ge |= eq & pl[q]
+			}
+			pl[q] = 0
+		}
+		if ge|eq != 0 { // eq survivors equal τ exactly
+			out |= 1 << uint(i)
+		}
+		k.sat[i] = 0
+	}
+	k.used = 0
+	return out
+}
+
+// FamilyConflictMask is the one-shot convenience form (fresh scratch per
+// call); hot paths should reuse a ConflictKernel instead.
+func FamilyConflictMask(f1, f2 *CachedFamily, tau, g int) uint64 {
+	var k ConflictKernel
+	return k.FamilyConflictMask(f1, f2, tau, g)
+}
+
+// familyConflictMaskSlow is the scalar reference: the per-set sweep the
+// algorithms ran before batching, restricted to the 64 representable rows.
+func familyConflictMaskSlow(f1, f2 *CachedFamily, tau, g int) uint64 {
+	var out uint64
+	for i, c := range f1.Sets {
+		if i >= 64 {
+			break
+		}
+		for _, c2 := range f2.Sets {
+			if TauGConflict(c, c2, tau, g) {
+				out |= 1 << uint(i)
+				break
+			}
+		}
+	}
+	return out
+}

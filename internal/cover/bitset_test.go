@@ -172,19 +172,107 @@ func TestCachedFamilyMatchesFamily(t *testing.T) {
 		if !reflect.DeepEqual(cf.Sets, want) {
 			t.Fatalf("type %d: cached sets diverge from Family", i)
 		}
-		if len(cf.Bits) != len(cf.Sets) {
-			t.Fatalf("type %d: %d bitsets for %d sets", i, len(cf.Bits), len(cf.Sets))
+		if !reflect.DeepEqual(cf.List, ty.List) {
+			t.Fatalf("type %d: cached list diverges from the type's list", i)
 		}
-		for j, s := range cf.Sets {
-			if cf.Bits[j].Count() != len(s) {
-				t.Fatalf("type %d set %d: bitset cardinality mismatch", i, j)
+		// The compact index is the exact transpose of set membership: each
+		// list color covered by at least one set appears once, in list
+		// order, with the mask of exactly the sets containing it.
+		k := 0
+		for _, x := range ty.List {
+			var m uint64
+			for s, set := range cf.Sets {
+				if contains(set, x) {
+					m |= 1 << uint(s)
+				}
 			}
-			for _, x := range s {
-				if !cf.Bits[j].Contains(x) {
-					t.Fatalf("type %d set %d: missing color %d", i, j, x)
+			if m == 0 {
+				continue
+			}
+			if k >= len(cf.NzColors) || cf.NzColors[k] != x || cf.NzMask[k] != m {
+				t.Fatalf("type %d: compact row %d disagrees with membership of color %d", i, k, x)
+			}
+			k++
+		}
+		if k != len(cf.NzColors) || len(cf.NzColors) != len(cf.NzMask) {
+			t.Fatalf("type %d: %d compact rows, expected %d", i, len(cf.NzColors), k)
+		}
+	}
+}
+
+// TestFamilyConflictMaskMatchesReference pins the batched bit-sliced
+// family kernel to the scalar set-by-set sweep for every τ and gap the
+// algorithms use, including τ values around each pair's exact conflict
+// weight (the threshold compare's edge).
+func TestFamilyConflictMaskMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := 64 + rng.Intn(1500)
+		mk := func() *CachedFamily {
+			return NewCachedFamily(Type{
+				InitColor: rng.Intn(100),
+				List:      randSet(rng, 1+rng.Intn(60), space),
+				SetSize:   1 + rng.Intn(16),
+				NumSets:   1 + rng.Intn(20),
+			})
+		}
+		f1, f2 := mk(), mk()
+		var k ConflictKernel
+		for _, g := range []int{0, 1, 3} {
+			maxW := 0
+			for _, c1 := range f1.Sets {
+				for _, c2 := range f2.Sets {
+					if w := ConflictWeight(c1, c2, g); w > maxW {
+						maxW = w
+					}
+				}
+			}
+			for _, tau := range []int{1, 2, 3, maxW - 1, maxW, maxW + 1, kernelMaxTau} {
+				if tau < 1 {
+					continue
+				}
+				want := familyConflictMaskSlow(f1, f2, tau, g)
+				if k.FamilyConflictMask(f1, f2, tau, g) != want {
+					return false
+				}
+				// The reused kernel must leave no state behind: a second
+				// call and the one-shot form agree with the first.
+				if k.FamilyConflictMask(f1, f2, tau, g) != want {
+					return false
+				}
+				if FamilyConflictMask(f1, f2, tau, g) != want {
+					return false
 				}
 			}
 		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFamilyConflictMaskFallbacks covers the paths that bypass the
+// bit-sliced counters: families beyond 64 sets (no compact membership
+// index) and τ beyond the counter range.
+func TestFamilyConflictMaskFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	big := NewCachedFamily(Type{InitColor: 1, List: randSet(rng, 50, 900), SetSize: 6, NumSets: 70})
+	if big.NzMask != nil {
+		t.Fatal("families beyond 64 sets must not carry the compact membership index")
+	}
+	small := NewCachedFamily(Type{InitColor: 2, List: randSet(rng, 50, 900), SetSize: 6, NumSets: 8})
+	for _, pair := range [][2]*CachedFamily{{big, small}, {small, big}, {big, big}} {
+		if got, want := FamilyConflictMask(pair[0], pair[1], 2, 0), familyConflictMaskSlow(pair[0], pair[1], 2, 0); got != want {
+			t.Fatalf("fallback mask %x want %x", got, want)
+		}
+	}
+	if got, want := FamilyConflictMask(small, small, kernelMaxTau+1, 0), familyConflictMaskSlow(small, small, kernelMaxTau+1, 0); got != want {
+		t.Fatalf("large-τ fallback mask %x want %x", got, want)
+	}
+	empty := NewCachedFamily(Type{InitColor: 3, List: nil, SetSize: 4, NumSets: 8})
+	if FamilyConflictMask(empty, small, 2, 0) != 0 || FamilyConflictMask(small, empty, 2, 0) != 0 {
+		t.Fatal("empty families conflict with nothing")
 	}
 }
 

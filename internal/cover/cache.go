@@ -1,97 +1,395 @@
 package cover
 
 import (
-	"encoding/binary"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
 
-// CachedFamily is a candidate family in both kernel representations: the
-// sorted-slice sets that Family derives (the wire/reference form) and their
-// packed ColorSet counterparts for the conflict kernels. Both slices are
-// index-aligned and must be treated as immutable — entries are shared
-// across every node (and every worker goroutine) of a run.
+// CachedFamily is a candidate family in the representations the conflict
+// kernels need: the sorted-slice sets that Family derives (the
+// wire/reference form), the type's color list, and a compact transposed
+// membership index for the batched family-vs-family kernel. All fields
+// must be treated as immutable — entries are shared across every node (and
+// every worker goroutine) of a run.
 type CachedFamily struct {
 	Sets [][]int
-	Bits []ColorSet
+	// List is the (sorted) color list the family was derived from; Sets
+	// elements are drawn from it. It aliases the Type's list, not a copy.
+	List []int
+	// NzColors/NzMask index set membership by color: NzMask[j] bit s is
+	// set iff candidate set s contains NzColors[j], and only colors that
+	// occur in at least one set appear (ascending). Candidate sets cover
+	// far fewer colors than the list holds, so the batched kernel sweeps
+	// these instead of the full lists. Nil when the family has more than
+	// 64 sets (the kernel then falls back to the scalar sweep).
+	NzColors []int
+	NzMask   []uint64
 }
 
-// NewCachedFamily derives the family of the type (Family) and packs each
-// set; it is the uncached constructor behind FamilyCache.
+// NewCachedFamily derives the family of the type in all representations;
+// it is the uncached constructor behind FamilyCache.
 func NewCachedFamily(t Type) *CachedFamily {
-	sets := Family(t)
-	bits := make([]ColorSet, len(sets))
-	for i, s := range sets {
-		bits[i] = NewColorSet(s)
+	f := &CachedFamily{}
+	deriveFamily(t, f, nil)
+	return f
+}
+
+// deriveFamily fills f with the family of t. The set contents replay
+// Family(t) exactly — same seed, same partial Fisher–Yates draw order — so
+// the cached form is bit-identical to the reference derivation; the
+// compact membership index is built from the pre-sort positions as a side
+// product (via a reusable full-length scratch mask). Backing storage is
+// carved from the arena when one is given (the caller must hold the cache
+// lock) and freshly allocated otherwise. f.List aliases t.List.
+func deriveFamily(t Type, f *CachedFamily, a *familyArena) {
+	setSize := t.SetSize
+	if setSize > len(t.List) {
+		setSize = len(t.List)
 	}
-	return &CachedFamily{Sets: sets, Bits: bits}
+	f.List = t.List
+	if setSize == 0 || len(t.List) == 0 {
+		f.Sets = nil
+		return
+	}
+	useMask := t.NumSets <= 64
+	var colMask []uint64
+	if useMask {
+		colMask = a.maskScratch(len(t.List))
+	}
+	rng := splitmix{state: t.seed()}
+	f.Sets = a.setHeaders(t.NumSets)
+	idx := a.indexScratch(len(t.List))
+	for s := range f.Sets {
+		for i := range idx {
+			idx[i] = i
+		}
+		// Partial Fisher–Yates: the first SetSize entries become a uniform
+		// subset (identical draws to Family).
+		for i := 0; i < setSize; i++ {
+			j := i + int(rng.next()%uint64(len(idx)-i))
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		set := a.ints(setSize)
+		for i := 0; i < setSize; i++ {
+			set[i] = t.List[idx[i]]
+			if useMask {
+				colMask[idx[i]] |= 1 << uint(s)
+			}
+		}
+		sort.Ints(set)
+		f.Sets[s] = set
+	}
+	if useMask {
+		nnz := 0
+		for _, m := range colMask {
+			if m != 0 {
+				nnz++
+			}
+		}
+		f.NzColors = a.ints(nnz)
+		f.NzMask = a.words(nnz)
+		k := 0
+		for j, m := range colMask {
+			if m != 0 {
+				f.NzColors[k] = t.List[j]
+				f.NzMask[k] = m
+				k++
+			}
+		}
+	}
+}
+
+// familyArena is bump storage for cached family derivations: slices are
+// carved off append-only chunks, so a whole run's families live in a
+// handful of large allocations instead of five small ones per entry.
+// Mutation requires external locking (FamilyCache.mu).
+type familyArena struct {
+	ints64  []int
+	words64 []uint64
+	hdrs    [][]int
+	fams    []CachedFamily
+	idx     []int    // reusable Fisher–Yates scratch, not carved
+	mask    []uint64 // reusable per-position membership scratch, not carved
+	bytes   int64    // total reserved chunk bytes, for observability
+}
+
+const (
+	arenaIntChunk  = 8192
+	arenaWordChunk = 4096
+	arenaHdrChunk  = 1024
+	arenaFamChunk  = 256
+)
+
+// ints returns a zeroed int block of length n (nil arena: fresh alloc).
+func (a *familyArena) ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	if len(a.ints64)+n > cap(a.ints64) {
+		c := arenaIntChunk
+		if n > c {
+			c = n
+		}
+		a.ints64 = make([]int, 0, c)
+		a.bytes += int64(c) * 8
+	}
+	s := a.ints64[len(a.ints64) : len(a.ints64)+n : len(a.ints64)+n]
+	a.ints64 = a.ints64[:len(a.ints64)+n]
+	return s
+}
+
+// words returns a zeroed uint64 block of length n.
+func (a *familyArena) words(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	if len(a.words64)+n > cap(a.words64) {
+		c := arenaWordChunk
+		if n > c {
+			c = n
+		}
+		a.words64 = make([]uint64, 0, c)
+		a.bytes += int64(c) * 8
+	}
+	s := a.words64[len(a.words64) : len(a.words64)+n : len(a.words64)+n]
+	a.words64 = a.words64[:len(a.words64)+n]
+	return s
+}
+
+// setHeaders returns a non-nil slice-header block of length n.
+func (a *familyArena) setHeaders(n int) [][]int {
+	if a == nil {
+		return make([][]int, n)
+	}
+	if len(a.hdrs)+n > cap(a.hdrs) {
+		c := arenaHdrChunk
+		if n > c {
+			c = n
+		}
+		a.hdrs = make([][]int, 0, c)
+		a.bytes += int64(c) * 24
+	}
+	s := a.hdrs[len(a.hdrs) : len(a.hdrs)+n : len(a.hdrs)+n]
+	a.hdrs = a.hdrs[:len(a.hdrs)+n]
+	return s
+}
+
+// family returns a pointer into the entry slab; slab chunks are never
+// reallocated once carved, so the pointer stays valid for the arena's
+// lifetime.
+func (a *familyArena) family() *CachedFamily {
+	if a == nil {
+		return &CachedFamily{}
+	}
+	if len(a.fams) == cap(a.fams) {
+		a.fams = make([]CachedFamily, 0, arenaFamChunk)
+		a.bytes += int64(arenaFamChunk) * 72
+	}
+	a.fams = a.fams[:len(a.fams)+1]
+	return &a.fams[len(a.fams)-1]
+}
+
+// indexScratch returns a reusable length-n index buffer.
+func (a *familyArena) indexScratch(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	if cap(a.idx) < n {
+		a.idx = make([]int, n)
+		a.bytes += int64(n) * 8
+	}
+	return a.idx[:n]
+}
+
+// maskScratch returns a reusable zeroed length-n mask buffer (derivation
+// scratch only — never stored on entries, so list-length masks don't make
+// the arena grow with Σ|list|).
+func (a *familyArena) maskScratch(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	if cap(a.mask) < n {
+		a.mask = make([]uint64, n)
+		a.bytes += int64(n) * 8
+	}
+	s := a.mask[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // FamilyCache memoizes Family derivations by Type. The paper's Lemma 3.6
 // encoding has every node re-derive each neighbor's family from its type
 // once per neighbor per round; since the family is a pure deterministic
 // function of the type, a run needs each distinct type derived exactly
-// once. The cache is safe for concurrent use from the engine's parallel
-// Inbox/Outbox callbacks; a racing duplicate derivation is harmless
-// because both goroutines compute identical values and one wins
-// LoadOrStore, so results are independent of worker count.
+// once. Lookups are an allocation-free hash probe under a read lock;
+// misses derive under the write lock into the shared bump arena, so each
+// distinct type costs exactly one derivation regardless of worker count or
+// scheduling. The cache is safe for concurrent use from the engine's
+// parallel Inbox/Outbox callbacks.
 type FamilyCache struct {
-	m      sync.Map // string type key → *CachedFamily
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu      sync.RWMutex
+	table   []int32 // open-addressed: 1-based indices into entries, 0 = empty
+	entries []cacheEntry
+	arena   familyArena
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	hash uint64
+	t    Type // List aliases the inserting caller's list (see Get)
+	fam  *CachedFamily
 }
 
 // NewFamilyCache returns an empty cache.
 func NewFamilyCache() *FamilyCache { return &FamilyCache{} }
 
 // Get returns the family of t, deriving and inserting it on first use.
+// The cache aliases t.List (it is not copied): the caller must not mutate
+// the list after the call. The solve algorithms satisfy this by
+// construction — lists live in per-solve arenas or caller-owned inputs and
+// are immutable once announced.
 func (c *FamilyCache) Get(t Type) *CachedFamily {
-	key := typeKey(t)
-	if v, ok := c.m.Load(key); ok {
+	h := typeHash(t)
+	c.mu.RLock()
+	fam := c.lookup(h, t)
+	c.mu.RUnlock()
+	if fam != nil {
 		c.hits.Add(1)
-		return v.(*CachedFamily)
+		return fam
 	}
-	v, loaded := c.m.LoadOrStore(key, NewCachedFamily(t))
-	if loaded {
+	c.mu.Lock()
+	if fam = c.lookup(h, t); fam != nil {
+		c.mu.Unlock()
 		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+		return fam
 	}
-	return v.(*CachedFamily)
+	fam = c.insert(h, t)
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return fam
+}
+
+// lookup probes the table for an equal type; the caller holds a lock.
+func (c *FamilyCache) lookup(h uint64, t Type) *CachedFamily {
+	if len(c.table) == 0 {
+		return nil
+	}
+	mask := uint64(len(c.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := c.table[i]
+		if slot == 0 {
+			return nil
+		}
+		e := &c.entries[slot-1]
+		if e.hash == h && typesEqual(e.t, t) {
+			return e.fam
+		}
+	}
+}
+
+// insert derives t under the write lock and places it in the table.
+func (c *FamilyCache) insert(h uint64, t Type) *CachedFamily {
+	if 4*(len(c.entries)+1) > 3*len(c.table) {
+		c.grow()
+	}
+	fam := c.arena.family()
+	deriveFamily(t, fam, &c.arena)
+	c.entries = append(c.entries, cacheEntry{hash: h, t: t, fam: fam})
+	mask := uint64(len(c.table) - 1)
+	i := h & mask
+	for c.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	c.table[i] = int32(len(c.entries))
+	return fam
+}
+
+// grow doubles the probe table and rehashes every entry index.
+func (c *FamilyCache) grow() {
+	n := 2 * len(c.table)
+	if n < 64 {
+		n = 64
+	}
+	c.table = make([]int32, n)
+	mask := uint64(n - 1)
+	for idx := range c.entries {
+		i := c.entries[idx].hash & mask
+		for c.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.table[i] = int32(idx + 1)
+	}
 }
 
 // Stats returns the lookup counters accumulated so far. Hits + misses
-// equals the number of Get calls; misses is the number of derivations kept
-// (racing duplicate derivations count as hits for the losers, so the split
-// between the two depends on goroutine scheduling — only the sum and the
-// cached contents are deterministic).
+// equals the number of Get calls; misses equals the number of distinct
+// types derived (derivation happens exactly once per type under the write
+// lock, so the split is deterministic for a fixed request multiset).
 func (c *FamilyCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
 // Len returns the number of distinct types derived so far.
 func (c *FamilyCache) Len() int {
-	n := 0
-	c.m.Range(func(_, _ any) bool { n++; return true })
-	return n
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
 }
 
-// typeKey encodes the type injectively as a string map key. All fields are
-// bounded by the color space / node count, so fixed 32-bit little-endian
-// words with a length prefix are collision-free.
-func typeKey(t Type) string {
-	b := make([]byte, 0, 16+4*len(t.List))
-	var w [4]byte
-	put := func(x int) {
-		binary.LittleEndian.PutUint32(w[:], uint32(x))
-		b = append(b, w[:]...)
+// ArenaBytes returns the bytes reserved by the cache's backing bump arena
+// (an observability figure: the resident cost of all cached families).
+func (c *FamilyCache) ArenaBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.arena.bytes
+}
+
+// typesEqual reports field-wise equality of two types.
+func typesEqual(a, b Type) bool {
+	if a.InitColor != b.InitColor || a.SetSize != b.SetSize ||
+		a.NumSets != b.NumSets || len(a.List) != len(b.List) {
+		return false
 	}
-	put(t.InitColor)
-	put(t.SetSize)
-	put(t.NumSets)
-	put(len(t.List))
-	for _, x := range t.List {
-		put(x)
+	for i, x := range a.List {
+		if x != b.List[i] {
+			return false
+		}
 	}
-	return string(b)
+	return true
+}
+
+// typeHash mixes the type fields into a 64-bit probe hash without
+// allocating (the former string-key encoding was the top allocation site
+// of a whole solve). Long lists are sampled — scalar fields, length, a
+// 16-position stride and the last element — because every receiver hashes
+// every neighbor's type once and full-list hashing dominated solve CPU at
+// high Δ. Collisions are resolved by the full typesEqual comparison, so
+// hash quality only affects probe length, never correctness.
+func typeHash(t Type) uint64 {
+	h := mix64(uint64(t.InitColor)<<32 ^ uint64(t.SetSize)<<16 ^ uint64(t.NumSets))
+	n := len(t.List)
+	h = mix64(h ^ uint64(n))
+	if n <= 16 {
+		for _, x := range t.List {
+			h = h*0x9e3779b97f4a7c15 + uint64(x)
+		}
+	} else {
+		stride := (n + 15) / 16
+		for i := 0; i < n; i += stride {
+			h = h*0x9e3779b97f4a7c15 + uint64(t.List[i])
+		}
+		h = h*0x9e3779b97f4a7c15 + uint64(t.List[n-1])
+	}
+	return mix64(h)
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

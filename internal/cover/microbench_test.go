@@ -131,9 +131,24 @@ func BenchmarkPsiCountSets(b *testing.B) {
 	}
 }
 
+// BenchmarkFamilyConflictMask measures the batched family-vs-family
+// conflict kernel with a reused kernel — the per-neighbor Phase I
+// operation that replaces NumSets separate TauGConflict sweeps.
+func BenchmarkFamilyConflictMask(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	f1 := NewCachedFamily(Type{InitColor: 1, List: randSet(rng, 256, 1<<14), SetSize: 32, NumSets: 16})
+	f2 := NewCachedFamily(Type{InitColor: 2, List: randSet(rng, 256, 1<<14), SetSize: 32, NumSets: 16})
+	var k ConflictKernel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.FamilyConflictMask(f1, f2, 2, 0)
+	}
+}
+
 // BenchmarkFamilyCacheHit measures the steady-state cost of familyOf via
-// the memoization cache (one key encoding + sync.Map load), the operation
-// that replaces a full Family derivation per neighbor per round.
+// the memoization cache (an allocation-free hash probe under a read lock),
+// the operation that replaces a full Family derivation per neighbor per
+// round.
 func BenchmarkFamilyCacheHit(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	ty := Type{InitColor: 7, List: randSet(rng, 256, 1<<14), SetSize: 32, NumSets: 16}

@@ -13,7 +13,10 @@
 //     paper's Theorem 1.3.
 package linial
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // SmallestPrimeAtLeast returns the smallest prime >= n (n >= 2).
 func SmallestPrimeAtLeast(n int) int {
@@ -58,6 +61,72 @@ func polyEval(c, x, q, deg int) int {
 	acc := 0
 	for i := deg; i >= 0; i-- {
 		acc = (acc*x + digits[i]) % q
+	}
+	return acc
+}
+
+// gfStep is a reusable fast evaluator for one reduction step's field GF(q):
+// it caches the Barrett reciprocal for mod-q reduction and the base-q digit
+// expansion of one loaded color, so a round's many polynomial evaluations
+// (every neighbor color × every evaluation point) run without integer
+// division or allocation. Outputs are bit-identical to the naive polyEval —
+// the equivalence test and fuzz target in gf_test.go pin this.
+type gfStep struct {
+	q      uint64
+	mhi    uint64 // ⌊2^63 / q⌋, the Barrett reciprocal
+	deg    int
+	digits []uint64 // base-q digits of the loaded color, ascending
+}
+
+// init (re)configures the evaluator for a step, reusing the digit buffer.
+// q must fit in 31 bits so every Horner accumulator stays below 2^63, the
+// reduce precondition; chooseStep's fields are tiny, so the guard is a
+// correctness backstop, not a practical limit.
+func (s *gfStep) init(sp stepParams) {
+	if sp.q < 2 || sp.q >= 1<<31 {
+		panic(fmt.Sprintf("linial: field size %d outside [2, 2^31)", sp.q))
+	}
+	s.q = uint64(sp.q)
+	s.mhi = (uint64(1) << 63) / s.q
+	s.deg = sp.deg
+	if cap(s.digits) < sp.deg+1 {
+		s.digits = make([]uint64, sp.deg+1)
+	}
+	s.digits = s.digits[:sp.deg+1]
+}
+
+// reduce returns v mod q via Barrett reduction: qhat = ⌊v·mhi/2^63⌋ is at
+// most 2 short of ⌊v/q⌋ for v < 2^63, leaving at most two correction
+// subtractions and no hardware divide.
+func (s *gfStep) reduce(v uint64) uint64 {
+	hi, lo := bits.Mul64(v, s.mhi)
+	r := v - (hi<<1|lo>>63)*s.q
+	for r >= s.q {
+		r -= s.q
+	}
+	return r
+}
+
+// load decomposes color c into the evaluator's digit buffer, mirroring
+// polyEval's expansion (including its does-not-fit panic).
+func (s *gfStep) load(c int) {
+	u := uint64(c)
+	for i := range s.digits {
+		s.digits[i] = u % s.q
+		u /= s.q
+	}
+	if u != 0 {
+		panic(fmt.Sprintf("linial: color does not fit in %d base-%d digits", s.deg+1, s.q))
+	}
+}
+
+// evalAt returns the loaded polynomial's value at x — the same
+// highest-digit-first Horner recurrence as polyEval, with the modulus
+// taken by reduce. Requires x < q.
+func (s *gfStep) evalAt(x uint64) uint64 {
+	acc := uint64(0)
+	for i := s.deg; i >= 0; i-- {
+		acc = s.reduce(acc*x + s.digits[i])
 	}
 	return acc
 }

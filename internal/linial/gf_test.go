@@ -1,0 +1,137 @@
+package linial
+
+import (
+	"testing"
+)
+
+// gfTestCases spans small and large fields, degree 1..4.
+var gfTestCases = []stepParams{
+	{q: 2, deg: 1},
+	{q: 3, deg: 2},
+	{q: 7, deg: 1},
+	{q: 13, deg: 3},
+	{q: 31, deg: 2},
+	{q: 101, deg: 2},
+	{q: 257, deg: 4},
+}
+
+func TestGFStepMatchesPolyEval(t *testing.T) {
+	for _, sp := range gfTestCases {
+		var ev gfStep
+		ev.init(sp)
+		// Walk a spread of colors covering the full digit space.
+		max := 1
+		for i := 0; i <= sp.deg; i++ {
+			max *= sp.q
+		}
+		stride := max/512 + 1
+		for c := 0; c < max; c += stride {
+			ev.load(c)
+			for x := 0; x < sp.q; x++ {
+				want := polyEval(c, x, sp.q, sp.deg)
+				if got := int(ev.evalAt(uint64(x))); got != want {
+					t.Fatalf("q=%d deg=%d c=%d x=%d: fast=%d naive=%d",
+						sp.q, sp.deg, c, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGFStepRejectsHugeField(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q >= 2^31 must panic")
+		}
+	}()
+	var ev gfStep
+	ev.init(stepParams{q: 1 << 31, deg: 1})
+}
+
+func TestGFStepReuseAcrossSteps(t *testing.T) {
+	// One evaluator re-initialized across steps with different (q, deg)
+	// must keep matching the naive reference (the pooled-scratch pattern).
+	var ev gfStep
+	for _, sp := range gfTestCases {
+		ev.init(sp)
+		ev.load(sp.q + 1) // digits {1, 1, 0, ...}
+		for x := 0; x < sp.q; x++ {
+			if got, want := int(ev.evalAt(uint64(x))), polyEval(sp.q+1, x, sp.q, sp.deg); got != want {
+				t.Fatalf("q=%d deg=%d x=%d: fast=%d naive=%d", sp.q, sp.deg, x, got, want)
+			}
+		}
+	}
+}
+
+// FuzzPolyEval cross-checks the Barrett evaluator against the naive
+// reference over fuzzer-chosen colors and points.
+func FuzzPolyEval(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint8(0))
+	f.Add(uint32(12345), uint32(7), uint8(3))
+	f.Add(^uint32(0), ^uint32(0), ^uint8(0))
+	f.Fuzz(func(t *testing.T, rawC, rawX uint32, pick uint8) {
+		sp := gfTestCases[int(pick)%len(gfTestCases)]
+		max := 1
+		for i := 0; i <= sp.deg; i++ {
+			max *= sp.q
+		}
+		c := int(rawC) % max
+		x := int(rawX) % sp.q
+		var ev gfStep
+		ev.init(sp)
+		ev.load(c)
+		if got, want := int(ev.evalAt(uint64(x))), polyEval(c, x, sp.q, sp.deg); got != want {
+			t.Fatalf("q=%d deg=%d c=%d x=%d: fast=%d naive=%d", sp.q, sp.deg, c, x, got, want)
+		}
+	})
+}
+
+func TestGFStepEvalAllocs(t *testing.T) {
+	sp := stepParams{q: 101, deg: 2}
+	var ev gfStep
+	ev.init(sp)
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.load(4242)
+		s := uint64(0)
+		for x := 0; x < sp.q; x++ {
+			s += ev.evalAt(uint64(x))
+		}
+		if s == ^uint64(0) {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("full-field evaluation allocated %.1f times", allocs)
+	}
+}
+
+func BenchmarkPolyEvalNaive(b *testing.B) {
+	sp := stepParams{q: 101, deg: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := 0
+		for x := 0; x < sp.q; x++ {
+			s += polyEval(4242, x, sp.q, sp.deg)
+		}
+		if s < 0 {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+func BenchmarkGFEvalAll(b *testing.B) {
+	sp := stepParams{q: 101, deg: 2}
+	var ev gfStep
+	ev.init(sp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.load(4242)
+		s := uint64(0)
+		for x := 0; x < sp.q; x++ {
+			s += ev.evalAt(uint64(x))
+		}
+		if s == ^uint64(0) {
+			b.Fatal("unreachable")
+		}
+	}
+}

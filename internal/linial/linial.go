@@ -2,6 +2,7 @@ package linial
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/coloring"
@@ -77,34 +78,75 @@ func (a *reduceAlg) Outbox(v int, out *sim.Outbox) {
 	out.Broadcast(sim.UintPayload{Value: uint64(a.colors[v]), Width: bitio.WidthFor(a.m)})
 }
 
+// reduceScratch is the per-callback scratch of one Inbox evaluation: the
+// fast field evaluator plus the collected neighbor colors and the per-point
+// value/collision buffers. Callbacks for different nodes run concurrently,
+// so scratch is pooled, never stored on the algorithm.
+type reduceScratch struct {
+	gf  gfStep
+	out []int   // out-neighbor colors this round
+	fv  []int32 // own polynomial value per evaluation point
+	cnt []int32 // colliding-neighbor count per evaluation point
+}
+
+var reduceScratchPool = sync.Pool{New: func() any { return new(reduceScratch) }}
+
+// resize32 returns s with n zeroed entries, reusing capacity.
+func resize32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 func (a *reduceAlg) Inbox(v int, in []sim.Received) {
 	sp := a.sched.Steps[a.step]
-	q, deg := sp.q, sp.deg
+	q := sp.q
+	sc := reduceScratchPool.Get().(*reduceScratch)
+	sc.gf.init(sp)
 	// Collect out-neighbor colors (messages arrive from all neighbors).
-	var outColors []int
+	sc.out = sc.out[:0]
 	for _, msg := range in {
 		if a.o.HasArc(v, msg.From) {
-			outColors = append(outColors, int(msg.Payload.(sim.UintPayload).Value))
+			sc.out = append(sc.out, int(msg.Payload.(sim.UintPayload).Value))
 		}
 	}
 	c := a.colors[v]
-	// Count collisions per evaluation point. Equal colors share the whole
-	// polynomial and collide everywhere; they carry defect from previous
-	// defective steps and do not influence the argmin.
-	best, bestCnt := -1, int(^uint(0)>>1)
+	// Evaluate the node's own polynomial at every point, then sweep each
+	// neighbor polynomial across all points against it. Equal colors share
+	// the whole polynomial and collide everywhere; they carry defect from
+	// previous defective steps and do not influence the argmin.
+	fv := resize32(sc.fv, q)
+	sc.fv = fv
+	cnt := resize32(sc.cnt, q)
+	sc.cnt = cnt
+	sc.gf.load(c)
 	for x := 0; x < q; x++ {
-		fv := polyEval(c, x, q, deg)
-		cnt := 0
-		for _, cu := range outColors {
-			if cu != c && polyEval(cu, x, q, deg) == fv {
-				cnt++
+		fv[x] = int32(sc.gf.evalAt(uint64(x)))
+	}
+	for _, cu := range sc.out {
+		if cu == c {
+			continue
+		}
+		sc.gf.load(cu)
+		for x := 0; x < q; x++ {
+			if int32(sc.gf.evalAt(uint64(x))) == fv[x] {
+				cnt[x]++
 			}
 		}
-		if cnt < bestCnt {
-			best, bestCnt = x, cnt
+	}
+	best, bestCnt := -1, int32(^uint32(0)>>1)
+	for x := 0; x < q; x++ {
+		if cnt[x] < bestCnt {
+			best, bestCnt = x, cnt[x]
 		}
 	}
-	a.next[v] = best*q + polyEval(c, best, q, deg)
+	a.next[v] = best*q + int(fv[best])
+	reduceScratchPool.Put(sc)
 }
 
 func (a *reduceAlg) Done() bool {

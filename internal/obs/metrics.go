@@ -258,6 +258,11 @@ const (
 	MetricFamilyCacheHits = "ldc_family_cache_hits_total"
 	// MetricFamilyCacheMisses counts family-cache lookups that derived.
 	MetricFamilyCacheMisses = "ldc_family_cache_misses_total"
+	// MetricFamilyCacheEntries gauges distinct types held by the cache.
+	MetricFamilyCacheEntries = "ldc_family_cache_entries"
+	// MetricFamilyArenaBytes gauges bytes reserved by the cache's bump
+	// arena (the resident cost of all cached family derivations).
+	MetricFamilyArenaBytes = "ldc_family_arena_bytes"
 )
 
 // RoundMaxBitsBuckets are the default histogram bounds for

@@ -47,19 +47,37 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 	var total sim.Stats
 
 	// --- Stage 1: local case analysis and γ-class selection ---
+	// The loop is sequential, so one reused scratch serves every node; the
+	// surviving candidate lists and aux lists are views into its arenas.
 	sel := make([]classSelection, n)
 	auxLists := make([]coloring.NodeList, n)
+	totalColors := 0
+	for v := 0; v < n; v++ {
+		totalColors += in.Lists[v].Len()
+	}
+	sc := newAnalyzeScratch(h, totalColors)
 	trivial := true
 	for v := 0; v < n; v++ {
-		s, err := analyzeNode(o.OutDegree(v), in.Lists[v], h, hPrime, tauBar, pr.Alpha)
+		s, err := analyzeNodeInto(sc, o.OutDegree(v), in.Lists[v], h, hPrime, tauBar, pr.Alpha)
 		if err != nil {
 			return nil, total, fmt.Errorf("oldc: node %d: %w", v, err)
 		}
 		sel[v] = s
-		auxLists[v] = s.auxList()
-		if auxLists[v].Len() != 1 {
+		if len(s.cands) != 1 {
 			trivial = false
 		}
+	}
+	auxArena := make([]int, 0, 2*len(sc.cands))
+	for v := 0; v < n; v++ {
+		k := len(sel[v].cands)
+		base := len(auxArena)
+		auxArena = auxArena[:base+2*k]
+		colors, defs := auxArena[base:base+k:base+k], auxArena[base+k:base+2*k:base+2*k]
+		for i, c := range sel[v].cands {
+			colors[i] = c.class - 1 // 0-based for the aux color space
+			defs[i] = c.delta
+		}
+		auxLists[v] = coloring.NodeList{Colors: colors, Defect: defs}
 	}
 	classes := make([]int, n)
 	if trivial {
@@ -140,65 +158,119 @@ func hPrimeFor(h int) int {
 	return int(math.Pow(4, e))
 }
 
-// classSelection is the per-node outcome of the Lemma 3.8 case analysis.
+// classSelection is the per-node outcome of the Lemma 3.8 case analysis:
+// the class candidates, ascending by 1-based γ-class. The slices may alias
+// a shared per-solve arena (analyzeScratch) and must not be mutated.
 type classSelection struct {
-	// classes[i] (1-based γ-class) → candidate with its defect δ and the
-	// defect-class list to use when class i is chosen.
-	candidates map[int]classCandidate
+	cands []classCandidate
 }
 
 type classCandidate struct {
+	class  int   // 1-based γ-class this candidate covers
 	delta  int   // δ_{v,i}: tolerated out-neighbors in nearby classes
 	colors []int // L_{v,μ_v(i)}
 	defect int   // d_v for those colors
 }
 
 func (s classSelection) auxList() coloring.NodeList {
-	var colors, defs []int
-	for i := range s.candidates {
-		colors = append(colors, i-1) // 0-based for the aux color space
-	}
-	sortInts(colors)
-	for _, c := range colors {
-		defs = append(defs, s.candidates[c+1].delta)
+	colors := make([]int, len(s.cands))
+	defs := make([]int, len(s.cands))
+	for i, c := range s.cands {
+		colors[i] = c.class - 1 // 0-based for the aux color space
+		defs[i] = c.delta
 	}
 	return coloring.NodeList{Colors: colors, Defect: defs}
 }
 
 func (s classSelection) listForClass(i int) ([]int, int) {
-	c, ok := s.candidates[i]
-	if !ok {
-		// The aux solver may assign a class outside the candidate set if
-		// validation is skipped; fall back to the nearest candidate.
-		bestDist := math.MaxInt32
-		for j, cand := range s.candidates {
-			if d := absInt(j - i); d < bestDist {
-				bestDist = d
-				c = cand
-			}
+	for _, c := range s.cands {
+		if c.class == i {
+			return c.colors, c.defect
 		}
 	}
-	return c.colors, c.defect
+	// The aux solver may assign a class outside the candidate set if
+	// validation is skipped; fall back to the nearest candidate.
+	best, bestDist := s.cands[0], math.MaxInt32
+	for _, c := range s.cands {
+		if d := absInt(c.class - i); d < bestDist {
+			bestDist = d
+			best = c
+		}
+	}
+	return best.colors, best.defect
+}
+
+// analyzePart is one L_{v,μ} of the Lemma 3.8 partition.
+type analyzePart struct {
+	count  int
+	off    int // scatter cursor within the node's color-arena region
+	minDef int
+	mass   float64
+	colors []int
+}
+
+// analyzeScratch carries the reusable and arena state of the sequential
+// stage-1 loop: per-node part tables and μ assignments are recycled, while
+// candidate color lists and candidate records — which outlive the loop as
+// views held by classSelection — are bump-allocated from shared backing
+// slices instead of per-node allocations.
+type analyzeScratch struct {
+	parts  []analyzePart // indexed by μ ∈ [1, h]; reused per node
+	mu     []uint8       // per list position; reused per node
+	colors []int         // arena: candidate color lists (persist)
+	cands  []classCandidate // arena: candidate records (persist)
+}
+
+// newAnalyzeScratch pre-sizes the scratch for h classes and totalColors
+// list entries across all nodes.
+func newAnalyzeScratch(h, totalColors int) *analyzeScratch {
+	return &analyzeScratch{
+		parts:  make([]analyzePart, h+1),
+		colors: make([]int, 0, totalColors),
+	}
+}
+
+// reserveColors extends the color arena by n entries and returns the new
+// region. Earlier views keep their (possibly superseded) backing on growth,
+// which is safe because regions are never mutated once filled.
+func (sc *analyzeScratch) reserveColors(n int) []int {
+	base := len(sc.colors)
+	if cap(sc.colors) < base+n {
+		grown := make([]int, base, 2*(base+n))
+		copy(grown, sc.colors)
+		sc.colors = grown
+	}
+	sc.colors = sc.colors[:base+n]
+	return sc.colors[base : base+n]
 }
 
 // analyzeNode performs the local computation of Lemma 3.8: it partitions
 // the list by the scale μ with (d+1)² ≈ R_v/4^μ, computes the mass ratios
-// λ_{v,μ}, and produces the class candidates of Case I / Case II.
+// λ_{v,μ}, and produces the class candidates of Case I / Case II. This
+// fresh-scratch form is the reference entry point (tests, golden
+// references); Solve's sequential loop passes one reused scratch instead.
 func analyzeNode(beta int, l coloring.NodeList, h, hPrime, tauBar, alpha int) (classSelection, error) {
+	return analyzeNodeInto(newAnalyzeScratch(h, l.Len()), beta, l, h, hPrime, tauBar, alpha)
+}
+
+func analyzeNodeInto(sc *analyzeScratch, beta int, l coloring.NodeList, h, hPrime, tauBar, alpha int) (classSelection, error) {
 	if l.Len() == 0 {
 		return classSelection{}, fmt.Errorf("empty color list")
 	}
 	betaHat := nextPow2(beta)
 	rv := float64(alpha) * float64(betaHat) * float64(betaHat) * float64(tauBar) * float64(hPrime) * float64(hPrime)
-	// Partition the list into L_{v,μ}.
-	type part struct {
-		colors []int
-		minDef int
-		mass   float64
+	// Partition the list into L_{v,μ}: first assign scales and tally the
+	// parts, then scatter the colors into per-part views of the arena.
+	parts := sc.parts[:h+1]
+	for i := range parts {
+		parts[i] = analyzePart{}
 	}
-	parts := map[int]*part{}
+	if cap(sc.mu) < l.Len() {
+		sc.mu = make([]uint8, l.Len())
+	}
+	mus := sc.mu[:l.Len()]
 	var totalMass float64
-	for idx, x := range l.Colors {
+	for idx := range l.Colors {
 		d := l.Defect[idx]
 		w := float64((d + 1) * (d + 1))
 		mu := int(math.Round(math.Log(rv/w) / math.Log(4)))
@@ -208,40 +280,50 @@ func analyzeNode(beta int, l coloring.NodeList, h, hPrime, tauBar, alpha int) (c
 		if mu > h {
 			mu = h
 		}
-		p, ok := parts[mu]
-		if !ok {
-			p = &part{minDef: d}
-			parts[mu] = p
-		}
-		p.colors = append(p.colors, x)
-		if d < p.minDef {
+		mus[idx] = uint8(mu)
+		p := &parts[mu]
+		if p.count == 0 || d < p.minDef {
 			p.minDef = d
 		}
+		p.count++
 		p.mass += w
 		totalMass += w
 	}
-	sel := classSelection{candidates: map[int]classCandidate{}}
+	region := sc.reserveColors(l.Len())
+	off := 0
+	for mu := 1; mu <= h; mu++ {
+		p := &parts[mu]
+		if p.count == 0 {
+			continue
+		}
+		p.colors = region[off : off : off+p.count]
+		off += p.count
+	}
+	for idx, x := range l.Colors {
+		p := &parts[mus[idx]]
+		p.colors = append(p.colors, x)
+	}
+	candBase := len(sc.cands)
 	// Case II: some λ ≥ 1/4 (scan in ascending μ order for determinism).
 	for mu := 1; mu <= h; mu++ {
-		p, ok := parts[mu]
-		if !ok {
+		p := &parts[mu]
+		if p.count == 0 {
 			continue
 		}
 		lam := lambdaOf(p.mass, totalMass, h)
 		if lam >= 0.25 {
 			delta := int(math.Sqrt(rv) / 4)
-			i := clamp(mu, 1, h)
-			sel.candidates = map[int]classCandidate{
-				i: {delta: delta, colors: p.colors, defect: p.minDef},
-			}
-			return sel, nil
+			sc.cands = append(sc.cands, classCandidate{
+				class: clamp(mu, 1, h), delta: delta, colors: p.colors, defect: p.minDef,
+			})
+			return classSelection{cands: sc.cands[candBase:len(sc.cands):len(sc.cands)]}, nil
 		}
 	}
 	// Case I: map each surviving μ through f_v(μ) = μ − r + 2, keeping the
 	// first (smallest μ) winner per class.
 	for mu := 1; mu <= h; mu++ {
-		p, ok := parts[mu]
-		if !ok {
+		p := &parts[mu]
+		if p.count == 0 {
 			continue
 		}
 		lam := lambdaOf(p.mass, totalMass, h)
@@ -253,29 +335,52 @@ func analyzeNode(beta int, l coloring.NodeList, h, hPrime, tauBar, alpha int) (c
 		if f < 1 || f > h {
 			continue
 		}
-		if _, taken := sel.candidates[f]; taken {
+		if candTaken(sc.cands[candBase:], f) {
 			continue // a smaller μ already claimed this class
 		}
 		delta := int(math.Floor(math.Sqrt(lam * rv)))
-		sel.candidates[f] = classCandidate{delta: delta, colors: p.colors, defect: p.minDef}
+		sc.cands = insertCandidate(sc.cands, candBase, classCandidate{
+			class: f, delta: delta, colors: p.colors, defect: p.minDef,
+		})
 	}
-	if len(sel.candidates) == 0 {
+	if len(sc.cands) == candBase {
 		// Degenerate (tiny instances under scaled parameters): fall back to
 		// the heaviest part at its own scale.
 		bestMu, bestMass := 0, -1.0
-		for mu, p := range parts {
-			if p.mass > bestMass {
-				bestMu, bestMass = mu, p.mass
+		for mu := 1; mu <= h; mu++ {
+			if parts[mu].count > 0 && parts[mu].mass > bestMass {
+				bestMu, bestMass = mu, parts[mu].mass
 			}
 		}
-		p := parts[bestMu]
-		sel.candidates[clamp(bestMu, 1, h)] = classCandidate{
+		p := &parts[bestMu]
+		sc.cands = append(sc.cands, classCandidate{
+			class:  clamp(bestMu, 1, h),
 			delta:  int(math.Floor(math.Sqrt(p.mass))),
 			colors: p.colors,
 			defect: p.minDef,
+		})
+	}
+	return classSelection{cands: sc.cands[candBase:len(sc.cands):len(sc.cands)]}, nil
+}
+
+// candTaken reports whether a candidate for class f is already present.
+func candTaken(cands []classCandidate, f int) bool {
+	for _, c := range cands {
+		if c.class == f {
+			return true
 		}
 	}
-	return sel, nil
+	return false
+}
+
+// insertCandidate appends c to the arena keeping the node's tail (from
+// base) ascending by class.
+func insertCandidate(cands []classCandidate, base int, c classCandidate) []classCandidate {
+	cands = append(cands, c)
+	for i := len(cands) - 1; i > base && cands[i].class < cands[i-1].class; i-- {
+		cands[i], cands[i-1] = cands[i-1], cands[i]
+	}
+	return cands
 }
 
 func lambdaOf(mass, total float64, h int) float64 {
@@ -324,25 +429,26 @@ func sortInts(a []int) {
 //
 // Like basicAlg, per-neighbor state is flat and indexed by out-neighbor
 // position (outCSR), and families flow through the shared cover.FamilyCache
-// with packed ColorSet forms for the conflict kernels.
+// with the packed column-mask form the batched conflict kernel consumes.
+// Bad-color-removal output lives in one pre-sized per-solve arena (listBuf)
+// carved into disjoint per-node regions, so the concurrent Outbox callbacks
+// write without synchronization or allocation.
 type twoPhaseAlg struct {
 	spec    basicSpec
 	sink    faultReporter      // decode-fault ledger (the engine); may be nil
 	cache   *cover.FamilyCache // nil when spec.noCache
 	csr     outCSR
 	curList [][]int // list after bad-color removal (set at the class round)
+	listBuf []int   // arena backing curList; node v owns listOff[v]:listOff[v+1]
+	listOff []int32
 	ownK    []*cover.CachedFamily
 	cv      [][]int
-	cvIdx   []int            // index of cv in ownK, recorded by chooseCv
-	cvBits  []cover.ColorSet // packed cv for the ignore test
+	cvIdx   []int // index of cv in ownK, recorded by chooseCv
 
-	nbrType   []typeInfo            // by out-neighbor position
-	nbrFam    []*cover.CachedFamily // family of the received type (nil = no type)
-	nbrCv     [][]int               // announced C_u (nil = none)
-	nbrCvBits []cover.ColorSet
-	nbrColor  []int32 // final color (−1 = none)
-
-	lowerCuCount []map[int]int // color → #lower-class C_u containing it
+	nbrType  []typeInfo            // by out-neighbor position
+	nbrFam   []*cover.CachedFamily // family of the received type (nil = no type)
+	nbrCv    [][]int               // announced C_u (nil = none)
+	nbrColor []int32               // final color (−1 = none)
 
 	phi      []int
 	pickedAt []int
@@ -355,30 +461,33 @@ func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 	n := spec.o.N()
 	csr := newOutCSR(spec.o)
 	a := &twoPhaseAlg{
-		spec:         spec,
-		csr:          csr,
-		curList:      make([][]int, n),
-		ownK:         make([]*cover.CachedFamily, n),
-		cv:           make([][]int, n),
-		cvIdx:        make([]int, n),
-		cvBits:       make([]cover.ColorSet, n),
-		nbrType:      make([]typeInfo, csr.arcs()),
-		nbrFam:       make([]*cover.CachedFamily, csr.arcs()),
-		nbrCv:        make([][]int, csr.arcs()),
-		nbrCvBits:    make([]cover.ColorSet, csr.arcs()),
-		nbrColor:     make([]int32, csr.arcs()),
-		lowerCuCount: make([]map[int]int, n),
-		phi:          make([]int, n),
-		pickedAt:     make([]int, n),
+		spec:     spec,
+		csr:      csr,
+		curList:  make([][]int, n),
+		listOff:  make([]int32, n+1),
+		ownK:     make([]*cover.CachedFamily, n),
+		cv:       make([][]int, n),
+		cvIdx:    make([]int, n),
+		nbrType:  make([]typeInfo, csr.arcs()),
+		nbrFam:   make([]*cover.CachedFamily, csr.arcs()),
+		nbrCv:    make([][]int, csr.arcs()),
+		nbrColor: make([]int32, csr.arcs()),
+		phi:      make([]int, n),
+		pickedAt: make([]int, n),
 	}
 	if !spec.noCache {
 		a.cache = cover.NewFamilyCache()
 	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(spec.lists[v])
+		a.listOff[v+1] = int32(total)
+	}
+	a.listBuf = make([]int, total)
 	for i := range a.nbrColor {
 		a.nbrColor[i] = -1
 	}
 	for v := 0; v < n; v++ {
-		a.lowerCuCount[v] = map[int]int{}
 		a.phi[v] = -1
 		a.pickedAt[v] = -1
 	}
@@ -432,25 +541,45 @@ func (a *twoPhaseAlg) Outbox(v int, out *sim.Outbox) {
 }
 
 // removeBadColors drops every color that appears in more than d_v/4
-// lower-class candidate sets.
+// lower-class candidate sets. The counts are computed on demand from the
+// already-received lower-class C_u announcements — every lower class
+// finishes its round B before this node's round A, so the scan sees
+// exactly the sets the former incremental counter saw. Each set element is
+// located in the (much longer) list by binary search, keeping the cost at
+// O(outdeg · |C_u| · log |L_v|) instead of O(outdeg · |L_v|); the
+// surviving colors land in the node's disjoint arena region.
 func (a *twoPhaseAlg) removeBadColors(v int) []int {
-	limit := a.spec.defect[v] / 4
-	var out []int
-	for _, x := range a.spec.lists[v] {
-		if a.lowerCuCount[v][x] <= limit {
+	lst := a.spec.lists[v]
+	class := a.spec.gclass[v]
+	sc := getScratch()
+	cnt := grow32(sc.cnt, len(lst))
+	sc.cnt = cnt
+	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+		if a.nbrCv[p] == nil || a.nbrType[p].gclass >= class {
+			continue
+		}
+		for _, x := range a.nbrCv[p] {
+			countWindow(cnt, lst, x, 0)
+		}
+	}
+	limit := int32(a.spec.defect[v] / 4)
+	out := a.listBuf[a.listOff[v]:a.listOff[v]:a.listOff[v+1]]
+	for j, x := range lst {
+		if cnt[j] <= limit {
 			out = append(out, x)
 		}
 	}
 	if len(out) == 0 {
 		// All colors bad (under-provisioned instance): keep the least bad.
-		bestX, bestC := a.spec.lists[v][0], math.MaxInt32
-		for _, x := range a.spec.lists[v] {
-			if c := a.lowerCuCount[v][x]; c < bestC {
-				bestX, bestC = x, c
+		bestJ := 0
+		for j := range lst {
+			if cnt[j] < cnt[bestJ] {
+				bestJ = j
 			}
 		}
-		out = []int{bestX}
+		out = append(out, lst[bestJ])
 	}
+	putScratch(sc)
 	return out
 }
 
@@ -487,7 +616,9 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 					defect:    a.spec.defect[v],
 					list:      a.curList[v],
 				})
-				a.chooseCv(v, class)
+				sc := getScratch()
+				a.chooseCv(v, class, sc)
+				putScratch(sc)
 			}
 		} else {
 			// Round B: reconstruct announced candidate sets.
@@ -506,18 +637,13 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 					continue
 				}
 				if m.index < len(fam.Sets) {
-					cu := fam.Sets[m.index]
-					a.nbrCv[pos] = cu
-					a.nbrCvBits[pos] = fam.Bits[m.index]
-					if a.nbrType[pos].gclass < a.spec.gclass[v] {
-						for _, x := range cu {
-							a.lowerCuCount[v][x]++
-						}
-					}
+					a.nbrCv[pos] = fam.Sets[m.index]
 				}
 			}
 			if class == h && a.spec.gclass[v] == h {
-				a.pickColor(v)
+				sc := getScratch()
+				a.pickColor(v, sc)
+				putScratch(sc)
 			}
 		}
 	default:
@@ -533,72 +659,63 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 		}
 		cur := h - (r - (2*h + 1))
 		if cur >= 1 && cur < h && a.spec.gclass[v] == cur {
-			a.pickColor(v)
+			sc := getScratch()
+			a.pickColor(v, sc)
+			putScratch(sc)
 		}
 	}
 }
 
 // chooseCv picks C_v ∈ K_v minimizing the number of same-class
 // out-neighbors with a τ-conflicting candidate family (Phase I),
-// recording the chosen index for the round-B announcement.
-func (a *twoPhaseAlg) chooseCv(v, class int) {
-	bestIdx := -1
-	bestD := math.MaxInt32
-	for i, c := range a.ownK[v].Sets {
-		d := 0
-		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
-			fam := a.nbrFam[p]
-			if fam == nil || a.nbrType[p].gclass != class {
-				continue
-			}
-			for _, bu := range fam.Bits {
-				if cover.TauGConflictSet(c, bu, a.spec.tau, 0) {
-					d++
-					break
-				}
-			}
-		}
-		if d < bestD {
-			bestD = d
-			bestIdx = i
-		}
-	}
-	if bestIdx < 0 {
+// recording the chosen index for the round-B announcement. The per-set
+// conflict counts come from one batched FamilyConflictMask call per
+// same-class neighbor.
+func (a *twoPhaseAlg) chooseCv(v, class int, sc *algScratch) {
+	own := a.ownK[v]
+	if len(own.Sets) == 0 {
 		a.cv[v] = a.curList[v]
 		a.cvIdx[v] = 0
-		a.cvBits[v] = cover.NewColorSet(a.curList[v])
 		return
 	}
-	a.cv[v] = a.ownK[v].Sets[bestIdx]
+	d := grow32(sc.d, len(own.Sets))
+	sc.d = d
+	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+		fam := a.nbrFam[p]
+		if fam == nil || a.nbrType[p].gclass != class {
+			continue
+		}
+		accumulateConflicts(d, &sc.kernel, own, fam, a.spec.tau, 0)
+	}
+	bestIdx := conflictArgmin(d)
+	a.cv[v] = own.Sets[bestIdx]
 	a.cvIdx[v] = bestIdx
-	a.cvBits[v] = a.ownK[v].Bits[bestIdx]
 }
 
 // pickColor finalizes v's color (Phase II): counts exact colors of higher
 // classes and candidate-set occurrences of non-ignored same-class
-// out-neighbors. The ignore test depends only on the neighbor, so it is
-// hoisted out of the per-color loop.
-func (a *twoPhaseAlg) pickColor(v int) {
+// out-neighbors. The ignore test depends only on the neighbor, and each
+// non-ignored neighbor set is merged against C_v once, filling the whole
+// per-color count buffer in a single two-pointer pass.
+func (a *twoPhaseAlg) pickColor(v int, sc *algScratch) {
 	class := a.spec.gclass[v]
-	off, end := a.csr.off[v], a.csr.off[v+1]
-	counted := make([]bool, end-off)
-	for p := off; p < end; p++ {
-		counted[p-off] = a.nbrCv[p] != nil && a.nbrType[p].gclass == class &&
-			!a.cvBits[v].TauGConflict(a.nbrCvBits[p], a.spec.tau, 0)
-	}
-	bestX, bestF := -1, math.MaxInt32
-	for _, x := range a.cv[v] {
-		f := 0
-		for p := off; p < end; p++ {
-			if counted[p-off] && a.nbrCvBits[p].Contains(x) {
-				f++
-			}
-			if xu := a.nbrColor[p]; xu >= 0 && int(xu) == x {
-				f++
-			}
+	cv := a.cv[v]
+	cnt := grow32(sc.cnt, len(cv))
+	sc.cnt = cnt
+	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+		if a.nbrCv[p] != nil && a.nbrType[p].gclass == class &&
+			!cover.TauGConflict(cv, a.nbrCv[p], a.spec.tau, 0) {
+			countMerge(cnt, cv, a.nbrCv[p])
 		}
-		if f < bestF {
-			bestF = f
+		if xu := a.nbrColor[p]; xu >= 0 {
+			countWindow(cnt, cv, int(xu), 0)
+		}
+	}
+	bestX := -1
+	bestF := int32(math.MaxInt32)
+	for j, x := range cv {
+		if cnt[j] < bestF {
+			bestF = cnt[j]
 			bestX = x
 		}
 	}

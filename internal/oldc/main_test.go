@@ -38,10 +38,10 @@ func TestAnalyzeNodeCaseII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.candidates) != 1 {
-		t.Fatalf("uniform defects should give a single class candidate, got %d", len(s.candidates))
+	if len(s.cands) != 1 {
+		t.Fatalf("uniform defects should give a single class candidate, got %d", len(s.cands))
 	}
-	for _, c := range s.candidates {
+	for _, c := range s.cands {
 		if len(c.colors) != 4 || c.defect != 1 {
 			t.Fatalf("candidate %+v", c)
 		}
@@ -55,9 +55,9 @@ func TestAnalyzeNodeEmptyList(t *testing.T) {
 }
 
 func TestAuxListAlignment(t *testing.T) {
-	s := classSelection{candidates: map[int]classCandidate{
-		3: {delta: 7},
-		1: {delta: 2},
+	s := classSelection{cands: []classCandidate{
+		{class: 1, delta: 2},
+		{class: 3, delta: 7},
 	}}
 	al := s.auxList()
 	if al.Len() != 2 || al.Colors[0] != 0 || al.Colors[1] != 2 {
@@ -69,8 +69,8 @@ func TestAuxListAlignment(t *testing.T) {
 }
 
 func TestListForClassFallback(t *testing.T) {
-	s := classSelection{candidates: map[int]classCandidate{
-		2: {colors: []int{9}, defect: 1},
+	s := classSelection{cands: []classCandidate{
+		{class: 2, colors: []int{9}, defect: 1},
 	}}
 	colors, d := s.listForClass(5)
 	if len(colors) != 1 || colors[0] != 9 || d != 1 {

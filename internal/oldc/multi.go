@@ -157,31 +157,29 @@ func restrictToBestDefectClass(beta int, l coloring.NodeList, h int) ([]int, int
 	if l.Len() == 0 {
 		return nil, 0, fmt.Errorf("empty color list")
 	}
-	type class struct {
-		colors []int
-		minDef int
-		mass   int
-	}
-	classes := map[int]*class{}
-	for i, c := range l.Colors {
+	// Classes are 1..h (gammaClass clamps), so stack tallies suffice; only
+	// the winning class's colors are materialized.
+	var count, minDef, mass [65]int
+	for i := range l.Colors {
 		d := l.Defect[i]
 		cl := gammaClass(beta, d, h)
-		e, ok := classes[cl]
-		if !ok {
-			e = &class{minDef: d}
-			classes[cl] = e
+		if count[cl] == 0 || d < minDef[cl] {
+			minDef[cl] = d
 		}
-		e.colors = append(e.colors, c)
-		if d < e.minDef {
-			e.minDef = d
-		}
-		e.mass += (d + 1) * (d + 1)
+		count[cl]++
+		mass[cl] += (d + 1) * (d + 1)
 	}
-	var best *class
-	for _, e := range classes {
-		if best == nil || e.mass > best.mass {
-			best = e
+	best := 0
+	for cl := 1; cl <= h && cl < len(mass); cl++ {
+		if count[cl] > 0 && (best == 0 || mass[cl] > mass[best]) {
+			best = cl
 		}
 	}
-	return best.colors, best.minDef, nil
+	out := make([]int, 0, count[best])
+	for i, c := range l.Colors {
+		if gammaClass(beta, l.Defect[i], h) == best {
+			out = append(out, c)
+		}
+	}
+	return out, minDef[best], nil
 }

@@ -6,10 +6,12 @@ import (
 	"repro/internal/sim"
 )
 
-// publishCacheStats folds a run's family-cache lookup counters into the
-// engine's metrics registry (a no-op when either is absent). The hit/miss
-// split is scheduling-dependent — see cover.FamilyCache.Stats — so these
-// counters are for observability, not golden tests.
+// publishCacheStats folds a run's family-cache figures into the engine's
+// metrics registry (a no-op when either is absent). Misses equal the
+// number of distinct types derived — derivation happens exactly once per
+// type under the cache's write lock — so for a fixed instance the split is
+// deterministic across worker counts; the arena gauges record the resident
+// cost of the memoized families.
 func publishCacheStats(eng *sim.Engine, cache *cover.FamilyCache) {
 	if cache == nil {
 		return
@@ -25,4 +27,6 @@ func publishCacheStats(eng *sim.Engine, cache *cover.FamilyCache) {
 	if misses > 0 {
 		reg.Counter(obs.MetricFamilyCacheMisses).Add(misses)
 	}
+	reg.Gauge(obs.MetricFamilyCacheEntries).Set(int64(cache.Len()))
+	reg.Gauge(obs.MetricFamilyArenaBytes).Set(cache.ArenaBytes())
 }

@@ -1,0 +1,70 @@
+package oldc
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/cover"
+)
+
+// algScratch is the round-scoped scratch one Inbox/Outbox callback needs:
+// the batched conflict kernel's counter planes and the per-candidate /
+// per-color count buffers. The engine runs callbacks for different nodes
+// concurrently, so scratch is pooled rather than stored on the algorithm;
+// a worker grabs one, uses it for a single node, and returns it.
+type algScratch struct {
+	kernel cover.ConflictKernel
+	d      []int32 // per-candidate-set conflicting-neighbor counts (chooseCv)
+	cnt    []int32 // per-list-position occurrence counts (pickColor, removeBadColors)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(algScratch) }}
+
+func getScratch() *algScratch  { return scratchPool.Get().(*algScratch) }
+func putScratch(s *algScratch) { scratchPool.Put(s) }
+
+// grow32 returns s resized to n zeroed entries, reusing capacity.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// countWindow adds one to cnt[j] for every position j of the sorted list
+// cv with |cv[j] − y| ≤ g: the per-color μ_g contribution of a single
+// neighbor color, accumulated for all of cv at once.
+func countWindow(cnt []int32, cv []int, y, g int) {
+	if g == 0 {
+		if j := sort.SearchInts(cv, y); j < len(cv) && cv[j] == y {
+			cnt[j]++
+		}
+		return
+	}
+	for j := sort.SearchInts(cv, y-g); j < len(cv) && cv[j] <= y+g; j++ {
+		cnt[j]++
+	}
+}
+
+// countMerge adds one to cnt[j] for every position j of cv whose color
+// also occurs in cu (both sorted ascending): one neighbor candidate set's
+// g = 0 contribution to every own color in a single two-pointer pass.
+func countMerge(cnt []int32, cv, cu []int) {
+	i, j := 0, 0
+	for i < len(cv) && j < len(cu) {
+		switch {
+		case cv[i] < cu[j]:
+			i++
+		case cv[i] > cu[j]:
+			j++
+		default:
+			cnt[i]++
+			i++
+			j++
+		}
+	}
+}

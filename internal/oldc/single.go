@@ -2,6 +2,7 @@ package oldc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitio"
 	"repro/internal/cover"
@@ -68,8 +69,8 @@ func (c outCSR) arcs() int { return len(c.ids) }
 //
 // Per-neighbor state lives in flat arrays indexed by out-neighbor position
 // (see outCSR); candidate families are derived once per distinct type
-// through the shared cover.FamilyCache and carry packed ColorSet forms for
-// the conflict kernels.
+// through the shared cover.FamilyCache and carry the packed column-mask
+// form the batched conflict kernel consumes.
 type basicAlg struct {
 	spec    basicSpec
 	sink    faultReporter      // decode-fault ledger (the engine); may be nil
@@ -80,11 +81,10 @@ type basicAlg struct {
 	cv      [][]int
 	cvIdx   []int // index of cv in ownK, recorded by chooseCv
 
-	nbrType   []typeInfo            // by out-neighbor position
-	nbrFam    []*cover.CachedFamily // family of the received type (nil = no type)
-	nbrCv     [][]int               // announced C_u (nil = none)
-	nbrCvBits []cover.ColorSet
-	nbrColor  []int32 // final color (−1 = none)
+	nbrType  []typeInfo            // by out-neighbor position
+	nbrFam   []*cover.CachedFamily // family of the received type (nil = no type)
+	nbrCv    [][]int               // announced C_u (nil = none)
+	nbrColor []int32               // final color (−1 = none)
 
 	phi      []int
 	pickedAt []int // round at which v picked (to broadcast once)
@@ -104,19 +104,18 @@ func newBasicAlg(spec basicSpec) (*basicAlg, error) {
 	n := spec.o.N()
 	csr := newOutCSR(spec.o)
 	a := &basicAlg{
-		spec:      spec,
-		csr:       csr,
-		reslist:   make([][]int, n),
-		ownK:      make([]*cover.CachedFamily, n),
-		cv:        make([][]int, n),
-		cvIdx:     make([]int, n),
-		nbrType:   make([]typeInfo, csr.arcs()),
-		nbrFam:    make([]*cover.CachedFamily, csr.arcs()),
-		nbrCv:     make([][]int, csr.arcs()),
-		nbrCvBits: make([]cover.ColorSet, csr.arcs()),
-		nbrColor:  make([]int32, csr.arcs()),
-		phi:       make([]int, n),
-		pickedAt:  make([]int, n),
+		spec:     spec,
+		csr:      csr,
+		reslist:  make([][]int, n),
+		ownK:     make([]*cover.CachedFamily, n),
+		cv:       make([][]int, n),
+		cvIdx:    make([]int, n),
+		nbrType:  make([]typeInfo, csr.arcs()),
+		nbrFam:   make([]*cover.CachedFamily, csr.arcs()),
+		nbrCv:    make([][]int, csr.arcs()),
+		nbrColor: make([]int32, csr.arcs()),
+		phi:      make([]int, n),
+		pickedAt: make([]int, n),
 	}
 	if !spec.noCache {
 		a.cache = cover.NewFamilyCache()
@@ -219,7 +218,9 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			a.nbrType[pos] = t
 			a.nbrFam[pos] = a.familyOf(t)
 		}
-		a.chooseCv(v)
+		sc := getScratch()
+		a.chooseCv(v, sc)
+		putScratch(sc)
 	case a.round == 2:
 		for _, msg := range in {
 			var pos int32
@@ -233,11 +234,12 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			}
 			if fam := a.nbrFam[pos]; fam != nil && m.index < len(fam.Sets) {
 				a.nbrCv[pos] = fam.Sets[m.index]
-				a.nbrCvBits[pos] = fam.Bits[m.index]
 			}
 		}
 		if a.spec.gclass[v] == a.spec.h {
-			a.pickColor(v)
+			sc := getScratch()
+			a.pickColor(v, sc)
+			putScratch(sc)
 		}
 	default:
 		for _, msg := range in {
@@ -252,64 +254,98 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 		}
 		cur := a.spec.h - (a.round - 2)
 		if a.spec.gclass[v] == cur {
-			a.pickColor(v)
+			sc := getScratch()
+			a.pickColor(v, sc)
+			putScratch(sc)
 		}
 	}
 }
 
 // chooseCv solves P1 for node v: among the candidate family, pick the set
 // with the fewest τ&g-conflicting same-or-lower-class out-neighbors,
-// recording the chosen index for the round-2 announcement.
-func (a *basicAlg) chooseCv(v int) {
-	bestIdx := -1
-	bestD := int(^uint(0) >> 1)
-	for i, c := range a.ownK[v].Sets {
-		d := 0
-		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
-			fam := a.nbrFam[p]
-			if fam == nil || a.nbrType[p].gclass > a.spec.gclass[v] {
-				continue
-			}
-			for _, bu := range fam.Bits {
-				if cover.TauGConflictSet(c, bu, a.spec.tau, a.spec.gap) {
-					d++
-					break
-				}
-			}
-		}
-		if d < bestD {
-			bestD = d
-			bestIdx = i
-		}
-	}
-	if bestIdx < 0 {
+// recording the chosen index for the round-2 announcement. One batched
+// FamilyConflictMask call per neighbor replaces the per-(set, neighbor,
+// set) scalar sweep; conflictArgmin keeps the same first-minimum rule.
+func (a *basicAlg) chooseCv(v int, sc *algScratch) {
+	own := a.ownK[v]
+	if len(own.Sets) == 0 {
 		// Degenerate family; fall back to the full restricted list.
 		a.cv[v] = a.reslist[v]
 		a.cvIdx[v] = 0
 		return
 	}
-	a.cv[v] = a.ownK[v].Sets[bestIdx]
+	d := grow32(sc.d, len(own.Sets))
+	sc.d = d
+	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+		fam := a.nbrFam[p]
+		if fam == nil || a.nbrType[p].gclass > a.spec.gclass[v] {
+			continue
+		}
+		accumulateConflicts(d, &sc.kernel, own, fam, a.spec.tau, a.spec.gap)
+	}
+	bestIdx := conflictArgmin(d)
+	a.cv[v] = own.Sets[bestIdx]
 	a.cvIdx[v] = bestIdx
+}
+
+// accumulateConflicts adds one to d[i] for every own candidate set i that
+// τ&g-conflicts with some set of the neighbor family fam. Families beyond
+// 64 sets exceed the mask width and take the scalar sweep.
+func accumulateConflicts(d []int32, k *cover.ConflictKernel, own, fam *cover.CachedFamily, tau, gap int) {
+	if len(d) <= 64 {
+		mask := k.FamilyConflictMask(own, fam, tau, gap)
+		for ; mask != 0; mask &= mask - 1 {
+			d[bits.TrailingZeros64(mask)]++
+		}
+		return
+	}
+	for i, c := range own.Sets {
+		for _, cu := range fam.Sets {
+			if cover.TauGConflict(c, cu, tau, gap) {
+				d[i]++
+				break
+			}
+		}
+	}
+}
+
+// conflictArgmin returns the first index of the minimum count (the rule
+// the scalar loop's strict < comparison implemented).
+func conflictArgmin(d []int32) int {
+	best := 0
+	for i := 1; i < len(d); i++ {
+		if d[i] < d[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // pickColor finalizes v's color: the list color with the lowest frequency
 // among same-or-lower-class out-neighbor candidate sets and already-colored
-// higher-class out-neighbors (Section 3.2.3).
-func (a *basicAlg) pickColor(v int) {
-	bestX := -1
-	bestF := int(^uint(0) >> 1)
-	for _, x := range a.cv[v] {
-		f := 0
-		for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
-			if a.nbrCv[p] != nil && a.nbrType[p].gclass <= a.spec.gclass[v] {
-				f += a.nbrCvBits[p].MuG(x, a.spec.gap)
-			}
-			if xu := a.nbrColor[p]; xu >= 0 && abs(int(xu)-x) <= a.spec.gap {
-				f++
+// higher-class out-neighbors (Section 3.2.3). The counts are accumulated
+// neighbor-outer into one per-color buffer, so each neighbor set is walked
+// once instead of once per own color.
+func (a *basicAlg) pickColor(v int, sc *algScratch) {
+	cv := a.cv[v]
+	cnt := grow32(sc.cnt, len(cv))
+	sc.cnt = cnt
+	g := a.spec.gap
+	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+		if a.nbrCv[p] != nil && a.nbrType[p].gclass <= a.spec.gclass[v] {
+			for _, y := range a.nbrCv[p] {
+				countWindow(cnt, cv, y, g)
 			}
 		}
-		if f < bestF {
-			bestF = f
+		if xu := a.nbrColor[p]; xu >= 0 {
+			countWindow(cnt, cv, int(xu), g)
+		}
+	}
+	bestX := -1
+	bestF := int32(^uint32(0) >> 1)
+	for j, x := range cv {
+		if cnt[j] < bestF {
+			bestF = cnt[j]
 			bestX = x
 		}
 	}

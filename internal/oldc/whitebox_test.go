@@ -38,20 +38,25 @@ func TestMaxOutDegreePow2(t *testing.T) {
 }
 
 func TestRemoveBadColors(t *testing.T) {
-	g := graph.Path(2)
-	o := graph.OrientByID(g)
+	// Star center (class 2) with five lower-class out-neighbors whose
+	// announced candidate sets make colors 1 and 2 appear in more than
+	// d/4 = 2 sets; those colors must be removed.
+	g := graph.CompleteBipartite(1, 5)
+	o := graph.Orient(g, func(u, v int) bool { return u == 0 })
 	spec := basicSpec{
-		o: o, spaceSize: 16, m: 4, initColors: []int{0, 1},
-		lists:  [][]int{{1, 2, 3, 4}, {5}},
-		defect: []int{8, 0}, gclass: []int{1, 1}, h: 1,
+		o: o, spaceSize: 16, m: 8, initColors: []int{0, 1, 2, 3, 4, 5},
+		lists:  [][]int{{1, 2, 3, 4}, {5}, {5}, {5}, {5}, {5}},
+		defect: []int{8, 0, 0, 0, 0, 0},
+		gclass: []int{2, 1, 1, 1, 1, 1}, h: 2,
 		tau: 2, kprime: 4, pr: cover.Practical(),
 	}
 	a := newTwoPhase(spec)
-	// Colors 1 and 2 appear in more than d/4 = 2 lower-class candidate
-	// sets; they must be removed.
-	a.lowerCuCount[0][1] = 3
-	a.lowerCuCount[0][2] = 5
-	a.lowerCuCount[0][3] = 2 // exactly at the limit: kept
+	// Per-color occurrence counts: 1→3, 2→5, 3→2 (at the limit: kept), 4→0.
+	sets := [][]int{{1, 2, 3}, {1, 2, 3}, {1, 2}, {2}, {2}}
+	for p := a.csr.off[0]; p < a.csr.off[1]; p++ {
+		a.nbrType[p] = typeInfo{gclass: 1}
+		a.nbrCv[p] = sets[int(p-a.csr.off[0])]
+	}
 	got := a.removeBadColors(0)
 	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
 		t.Fatalf("removeBadColors=%v", got)
@@ -59,17 +64,24 @@ func TestRemoveBadColors(t *testing.T) {
 }
 
 func TestRemoveBadColorsKeepsLeastBad(t *testing.T) {
-	g := graph.Path(2)
-	o := graph.OrientByID(g)
+	// defect 0 → limit 0; both colors occur in lower-class sets, so all are
+	// bad and the fallback keeps the least-occurring one.
+	g := graph.CompleteBipartite(1, 2)
+	o := graph.Orient(g, func(u, v int) bool { return u == 0 })
 	spec := basicSpec{
-		o: o, spaceSize: 16, m: 4, initColors: []int{0, 1},
-		lists:  [][]int{{1, 2}, {5}},
-		defect: []int{0, 0}, gclass: []int{1, 1}, h: 1,
+		o: o, spaceSize: 16, m: 8, initColors: []int{0, 1, 2},
+		lists:  [][]int{{1, 2}, {5}, {5}},
+		defect: []int{0, 0, 0},
+		gclass: []int{2, 1, 1}, h: 2,
 		tau: 2, kprime: 4, pr: cover.Practical(),
 	}
 	a := newTwoPhase(spec)
-	a.lowerCuCount[0][1] = 9
-	a.lowerCuCount[0][2] = 4
+	// Counts: color 1 → 2 sets, color 2 → 1 set.
+	sets := [][]int{{1, 2}, {1}}
+	for p := a.csr.off[0]; p < a.csr.off[1]; p++ {
+		a.nbrType[p] = typeInfo{gclass: 1}
+		a.nbrCv[p] = sets[int(p-a.csr.off[0])]
+	}
 	got := a.removeBadColors(0)
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("least-bad fallback=%v", got)

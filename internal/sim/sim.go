@@ -318,6 +318,11 @@ func (e *Engine) SetWorkers(n int) {
 	e.workers = n
 }
 
+// Workers returns the configured worker-pool size (defaults to
+// GOMAXPROCS); benchmark reports record it so figures are comparable
+// across machines.
+func (e *Engine) Workers() int { return e.workers }
+
 // Graph returns the communication graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
