@@ -36,6 +36,7 @@ func run() int {
 	simbench := flag.String("simbench", "", "run the simulator microbenchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	chaosbench := flag.String("chaosbench", "", "run detect-and-repair solving under every built-in fault schedule and write machine-readable JSON to this path ('-' for stdout), then exit")
+	servebench := flag.String("servebench", "", "run the incremental recoloring service under sustained churn and write machine-readable JSON to this path ('-' for stdout), then exit")
 	tracePath := flag.String("trace", "", "run the canonical traced Δ=64 solve, write its ldc-trace/v1 JSONL to this path ('-' for stdout), verify reconciliation, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -99,6 +100,18 @@ func run() int {
 		rep := bench.RunChaosBench()
 		if err := rep.WriteJSON(*chaosbench); err != nil {
 			fmt.Fprintf(os.Stderr, "chaosbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *servebench != "" {
+		rep, err := bench.RunServeBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(*servebench); err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
 			return 1
 		}
 		return 0

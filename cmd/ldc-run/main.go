@@ -11,6 +11,12 @@
 //	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
 //	ldc-run -algo oldc -trace run.jsonl          # then: ldc-trace run.jsonl
 //	ldc-run -algo delta1 -cpuprofile cpu.out
+//
+// Exit status 0 = the run produced a valid output, 1 = the run failed or
+// produced an invalid output, 2 = usage error (unknown flag, algorithm,
+// or graph family, or an unsupported flag combination). With
+// -metrics-addr the process parks to serve /metrics only after a
+// successful run — a failed solve still exits nonzero.
 package main
 
 import (
@@ -18,7 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -71,35 +77,71 @@ type output struct {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fatalError carries an exit code through the panic that die/fatalf raise;
+// run recovers it after the deferred cleanups (trace flush, CPU profile
+// stop) have executed.
+type fatalError struct {
+	code int
+	err  error
+}
+
+// die aborts the run with exit code 1 when err is non-nil.
+func die(err error) {
+	if err != nil {
+		panic(fatalError{1, err})
+	}
+}
+
+// fatalf aborts the run with the given exit code (2 = usage error).
+func fatalf(code int, format string, args ...interface{}) {
+	panic(fatalError{code, fmt.Errorf(format, args...)})
 }
 
 // run is the real main; it returns the process exit code so deferred
-// cleanups (trace flush, CPU profile stop) execute before os.Exit.
-func run() int {
+// cleanups execute before os.Exit and so the exit-code contract is
+// testable in-process. It writes results to stdout and diagnostics to
+// stderr.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("ldc-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gname  = flag.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric")
-		n      = flag.Int("n", 64, "node count (where applicable)")
-		deg    = flag.Int("deg", 6, "degree for regular / attachment count for pa")
-		p      = flag.Float64("p", 0.1, "edge probability for gnp")
-		rows   = flag.Int("rows", 8, "rows for grid/torus")
-		cols   = flag.Int("cols", 8, "cols for grid/torus")
-		dim    = flag.Int("dim", 6, "dimension for hypercube")
-		radius = flag.Float64("radius", 0.15, "radius for geometric")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		algo   = flag.String("algo", "delta1", "delta1|linear|slow|luby|greedy|mis|mis-luby|oldc")
-		kappa  = flag.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
-		spec   = flag.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
-		repair = flag.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
-		asJSON = flag.Bool("json", false, "emit the full result as JSON")
+		gname  = fs.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric")
+		n      = fs.Int("n", 64, "node count (where applicable)")
+		deg    = fs.Int("deg", 6, "degree for regular / attachment count for pa")
+		p      = fs.Float64("p", 0.1, "edge probability for gnp")
+		rows   = fs.Int("rows", 8, "rows for grid/torus")
+		cols   = fs.Int("cols", 8, "cols for grid/torus")
+		dim    = fs.Int("dim", 6, "dimension for hypercube")
+		radius = fs.Float64("radius", 0.15, "radius for geometric")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		algo   = fs.String("algo", "delta1", "delta1|linear|slow|luby|greedy|mis|mis-luby|oldc")
+		kappa  = fs.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
+		spec   = fs.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
+		repair = fs.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
+		asJSON = fs.Bool("json", false, "emit the full result as JSON")
 
-		tracePath   = flag.String("trace", "", "write an ldc-trace/v1 JSONL round trace to this path ('-' = stdout); summarize with ldc-trace")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-style text metrics on this address at /metrics (keeps the process alive after the run)")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address during the run")
+		tracePath   = fs.String("trace", "", "write an ldc-trace/v1 JSONL round trace to this path ('-' = stdout); summarize with ldc-trace")
+		metricsAddr = fs.String("metrics-addr", "", "after a successful run, serve Prometheus-style text metrics on this address at /metrics (keeps the process alive)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address during the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fe, ok := r.(fatalError)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintf(stderr, "ldc-run: %v\n", fe.err)
+			code = fe.code
+		}
+	}()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -108,7 +150,7 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 	if *pprofAddr != "" {
-		go func() { log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil)) }()
+		go func() { fmt.Fprintf(stderr, "pprof: %v\n", http.ListenAndServe(*pprofAddr, nil)) }()
 	}
 
 	var reg *obs.Registry
@@ -120,10 +162,9 @@ func run() int {
 	if *tracePath != "" {
 		switch *algo {
 		case "mis", "greedy":
-			log.Printf("-trace is not supported for -algo %s (no simulator engine to observe)", *algo)
-			return 2
+			fatalf(2, "-trace is not supported for -algo %s (no simulator engine to observe)", *algo)
 		}
-		w := os.Stdout
+		w := io.Writer(stdout)
 		if *tracePath != "-" {
 			f, err := os.Create(*tracePath)
 			die(err)
@@ -139,7 +180,7 @@ func run() int {
 	obs.EmitStart(tracerOrNil(tracer), obs.RunInfo{Algo: *algo, Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Seed: *seed})
 
 	if (*spec != "" || *repair) && *algo != "oldc" {
-		log.Fatalf("-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
+		fatalf(2, "-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
 	}
 
 	// engineOpts carries the observers into every engine this command
@@ -256,7 +297,7 @@ func run() int {
 		out.DecodeFaults = total.DecodeFaults
 		out.KappaUsed = *kappa
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		fatalf(2, "unknown algorithm %q", *algo)
 	}
 
 	if tracer != nil {
@@ -268,28 +309,28 @@ func run() int {
 		// Include the edge list so the document is self-contained and can
 		// be piped into ldc-verify.
 		g.ForEachEdge(func(u, v int) { out.Edges = append(out.Edges, [2]int{u, v}) })
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		die(enc.Encode(out))
 	} else {
-		fmt.Printf("graph=%s n=%d m=%d Δ=%d\n", out.Graph, out.N, out.M, out.MaxDegree)
-		fmt.Printf("algo=%s rounds=%d messages=%d total=%d bits max-msg=%d bits\n",
+		fmt.Fprintf(stdout, "graph=%s n=%d m=%d Δ=%d\n", out.Graph, out.N, out.M, out.MaxDegree)
+		fmt.Fprintf(stdout, "algo=%s rounds=%d messages=%d total=%d bits max-msg=%d bits\n",
 			out.Algorithm, out.Rounds, out.Messages, out.TotalBits, out.MaxMsgBits)
 		if out.ColorsUsed > 0 {
-			fmt.Printf("colors used: %d\n", out.ColorsUsed)
+			fmt.Fprintf(stdout, "colors used: %d\n", out.ColorsUsed)
 		}
 		if out.MISSize > 0 {
-			fmt.Printf("MIS size: %d\n", out.MISSize)
+			fmt.Fprintf(stdout, "MIS size: %d\n", out.MISSize)
 		}
 		if out.ChaosSpec != "" {
-			fmt.Printf("chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
+			fmt.Fprintf(stdout, "chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
 				out.ChaosSpec, out.Dropped, out.Corrupted, out.DecodeFaults)
 		}
 		if out.SurvivalRate != nil {
-			fmt.Printf("survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
+			fmt.Fprintf(stdout, "survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
 				*out.SurvivalRate, out.InitialBad, out.Repairs, out.RepairRounds, out.Fallback, len(out.ResidualBad))
 		}
-		fmt.Printf("valid: %v\n", out.Valid)
+		fmt.Fprintf(stdout, "valid: %v\n", out.Valid)
 	}
 
 	if *memprofile != "" {
@@ -299,19 +340,23 @@ func run() int {
 		die(pprof.WriteHeapProfile(f))
 		die(f.Close())
 	}
+
+	// An invalid or failed run must exit nonzero even when -metrics-addr
+	// is set: parking the process to serve metrics used to run first and
+	// mask the exit code from CI wrappers, so the server now only starts
+	// after the run has been judged successful.
+	if !out.Valid {
+		return 1
+	}
 	if *metricsAddr != "" {
-		log.Printf("serving metrics on http://%s/metrics (Ctrl-C to exit)", *metricsAddr)
+		fmt.Fprintf(stderr, "serving metrics on http://%s/metrics (Ctrl-C to exit)\n", *metricsAddr)
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			if err := reg.WriteText(w); err != nil {
-				log.Printf("metrics: %v", err)
+				fmt.Fprintf(stderr, "metrics: %v\n", err)
 			}
 		})
 		die(http.ListenAndServe(*metricsAddr, nil))
-	}
-
-	if !out.Valid {
-		return 1
 	}
 	return 0
 }
@@ -347,13 +392,13 @@ func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius 
 		return graph.Grid(rows, cols)
 	case "torus":
 		return graph.Torus(rows, cols)
-	case "hypercube":
-		return graph.Hypercube(dim)
 	case "regular":
 		if n*deg%2 != 0 {
 			n++
 		}
 		return graph.RandomRegular(n, deg, seed)
+	case "hypercube":
+		return graph.Hypercube(dim)
 	case "gnp":
 		return graph.GNP(n, p, seed)
 	case "tree":
@@ -364,7 +409,7 @@ func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius 
 		g, _ := graph.RandomGeometric(n, radius, seed)
 		return g
 	default:
-		log.Fatalf("unknown graph family %q", name)
+		fatalf(2, "unknown graph family %q", name)
 		return nil
 	}
 }
@@ -386,10 +431,4 @@ func countTrue(set []bool) int {
 		}
 	}
 	return c
-}
-
-func die(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
 }

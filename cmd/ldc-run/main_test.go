@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the documented exit-code contract: 0 = valid run,
+// 1 = failed run or invalid output, 2 = usage error. The -metrics-addr
+// rows pin the repaired masking bug: a failed run exits 1 (and does not
+// park to serve metrics — parking would hang this test) even when a
+// metrics address was requested.
+func TestRunExitCodes(t *testing.T) {
+	noDir := filepath.Join(t.TempDir(), "missing-subdir", "out")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"valid delta1", []string{"-graph", "ring", "-n", "16", "-algo", "delta1"}, 0},
+		{"valid oldc json", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc", "-json"}, 0},
+		{"valid mis", []string{"-graph", "ring", "-n", "16", "-algo", "mis"}, 0},
+
+		{"trace unwritable", []string{"-graph", "ring", "-n", "16", "-algo", "delta1", "-trace", noDir}, 1},
+		{"memprofile unwritable", []string{"-graph", "ring", "-n", "16", "-algo", "delta1", "-memprofile", noDir}, 1},
+		{"failed run with metrics-addr", []string{"-graph", "ring", "-n", "16", "-algo", "delta1",
+			"-memprofile", noDir, "-metrics-addr", "127.0.0.1:0"}, 1},
+
+		{"unknown flag", []string{"-frobnicate"}, 2},
+		{"unknown algo", []string{"-algo", "rainbow"}, 2},
+		{"unknown graph", []string{"-graph", "moebius"}, 2},
+		{"chaos without oldc", []string{"-graph", "ring", "-n", "16", "-algo", "delta1", "-chaos", "drop:0.1"}, 2},
+		{"repair without oldc", []string{"-graph", "ring", "-n", "16", "-algo", "luby", "-repair"}, 2},
+		{"trace with mis", []string{"-graph", "ring", "-n", "16", "-algo", "mis", "-trace", "-"}, 2},
+		{"trace with greedy", []string{"-graph", "ring", "-n", "16", "-algo", "greedy", "-trace", "-"}, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := run(tc.args, io.Discard, io.Discard)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunOutputs spot-checks the human-readable report and the chaos
+// summary line.
+func TestRunOutputs(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-graph", "ring", "-n", "16", "-algo", "delta1"}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "valid: true") {
+		t.Fatalf("missing validity line:\n%s", out.String())
+	}
+
+	out.Reset()
+	code := run([]string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc",
+		"-chaos", "drop:0.2", "-repair"}, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("repair run exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "survival=") || !strings.Contains(out.String(), "chaos=drop:0.2") {
+		t.Fatalf("missing chaos/repair summary:\n%s", out.String())
+	}
+}

@@ -1,0 +1,227 @@
+// Command ldc-serve runs the incremental recoloring service: it loads a
+// generated graph, solves the initial OLDC instance, and then keeps the
+// coloring valid while clients mutate the graph and query colors. The
+// engine (internal/serve) recolors only the region each mutation batch
+// disturbs, via the same detect-and-repair pipeline SolveRobust uses.
+//
+// Two front ends share the engine:
+//
+//	ldc-serve -graph regular -n 256 -deg 8 -script batches.jsonl
+//	ldc-serve -graph regular -n 256 -deg 8 -addr :8080
+//
+// Script mode applies one JSON mutation batch per input line and prints
+// one BatchReport per line; HTTP mode exposes:
+//
+//	GET  /color?v=3   →  {"v":3,"color":17}
+//	POST /batch       →  BatchReport (body: [{"op":"add_edge","u":1,"v":2}, ...])
+//	GET  /coloring    →  {"n":256,"batches":4,"coloring":[...]}
+//	GET  /metrics     →  Prometheus text (the ldc_serve_* catalog)
+//	GET  /healthz     →  ok
+//
+// Exit status 0 = clean run, 1 = runtime failure (initial solve or a
+// script batch), 2 = usage error. The API and determinism contract are
+// documented in docs/SERVICE.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the real main; it returns the process exit code so tests can
+// pin the exit-code contract without spawning processes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ldc-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gname = fs.String("graph", "regular", "ring|regular|gnp|tree")
+		n     = fs.Int("n", 256, "node count")
+		deg   = fs.Int("deg", 8, "degree for regular")
+		p     = fs.Float64("p", 0.05, "edge probability for gnp")
+		seed  = fs.Int64("seed", 1, "generator + list seed")
+
+		kappa  = fs.Float64("kappa", 5.0, "square-sum slack of the generated lists")
+		space  = fs.Int("space", 4096, "color space size")
+		verify = fs.Bool("verify-every-batch", false, "full-graph CheckOLDC after every batch")
+
+		addr   = fs.String("addr", "", "serve the HTTP API on this address")
+		script = fs.String("script", "", "apply one JSON mutation batch per line from this file ('-' = stdin), then exit unless -addr is set")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" && *script == "" {
+		fmt.Fprintln(stderr, "ldc-serve: nothing to do: pass -addr and/or -script")
+		return 2
+	}
+
+	g, err := buildGraph(*gname, *n, *deg, *p, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
+		return 2
+	}
+	reg := obs.NewRegistry()
+	s, err := serve.New(g, serve.Config{
+		Kappa: *kappa, SpaceSize: *space, Seed: *seed,
+		VerifyEveryBatch: *verify, Metrics: reg,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ldc-serve: initial solve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ldc-serve: graph=%s n=%d m=%d Δ=%d colored\n", *gname, g.N(), g.M(), g.MaxDegree())
+
+	if *script != "" {
+		r := os.Stdin
+		if *script != "-" {
+			f, err := os.Open(*script)
+			if err != nil {
+				fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			r = f
+		}
+		if code := runScript(s, r, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+
+	if *addr != "" {
+		fmt.Fprintf(stderr, "ldc-serve: listening on %s\n", *addr)
+		if err := http.ListenAndServe(*addr, newMux(s, reg)); err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runScript applies one JSON batch per line, emitting one BatchReport per
+// line. The first malformed line or failed batch stops the run.
+func runScript(s *serve.Server, r io.Reader, stdout, stderr io.Writer) int {
+	enc := json.NewEncoder(stdout)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var batch []serve.Mutation
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: script line %d: %v\n", line, err)
+			return 2
+		}
+		rep, err := s.Apply(batch)
+		if err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: script line %d: %v\n", line, err)
+			return 1
+		}
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
+			return 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "ldc-serve: script: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// newMux wires the HTTP API onto the engine. Factored out of run so the
+// e2e test can mount it on an httptest server.
+func newMux(s *serve.Server, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/color", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.Atoi(r.URL.Query().Get("v"))
+		if err != nil {
+			http.Error(w, "missing or malformed ?v=", http.StatusBadRequest)
+			return
+		}
+		c, err := s.Color(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]int{"v": v, "color": c})
+	})
+	mux.HandleFunc("/coloring", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{
+			"n": s.N(), "batches": s.Batches(), "coloring": s.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JSON mutation batch", http.StatusMethodNotAllowed)
+			return
+		}
+		var batch []serve.Mutation
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := s.Apply(batch)
+		if err != nil {
+			// The report is still returned: earlier mutations of the batch
+			// were applied and repaired (each mutation is atomic).
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "report": rep})
+			return
+		}
+		writeJSON(w, rep)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func buildGraph(name string, n, deg int, p float64, seed int64) (*graph.Graph, error) {
+	switch name {
+	case "ring":
+		return graph.Ring(n), nil
+	case "regular":
+		if n*deg%2 != 0 {
+			n++
+		}
+		return graph.RandomRegular(n, deg, seed), nil
+	case "gnp":
+		return graph.GNP(n, p, seed), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q (want ring|regular|gnp|tree)", name)
+	}
+}

@@ -2,6 +2,7 @@ package coloring
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -187,26 +188,65 @@ func CheckOrientedDefective(o *graph.Oriented, phi Assignment, numColors, d int)
 func OLDCViolators(o *graph.Oriented, lists []NodeList, phi Assignment) []int {
 	var bad []int
 	for v := 0; v < o.N(); v++ {
-		if phi[v] == Unset {
-			bad = append(bad, v)
-			continue
-		}
-		d, ok := lists[v].DefectOf(phi[v])
-		if !ok {
-			bad = append(bad, v)
-			continue
-		}
-		same := 0
-		for _, u := range o.Out(v) {
-			if phi[u] == phi[v] {
-				same++
-			}
-		}
-		if same > d {
+		if oldcViolated(o, lists, phi, v) {
 			bad = append(bad, v)
 		}
 	}
 	return bad
+}
+
+// oldcViolated reports whether node v violates its OLDC constraint:
+// uncolored, colored off-list, or with more same-colored out-neighbors
+// than the color's defect allows.
+func oldcViolated(o *graph.Oriented, lists []NodeList, phi Assignment, v int) bool {
+	if phi[v] == Unset {
+		return true
+	}
+	d, ok := lists[v].DefectOf(phi[v])
+	if !ok {
+		return true
+	}
+	same := 0
+	for _, u := range o.Out(v) {
+		if phi[u] == phi[v] {
+			same++
+		}
+	}
+	return same > d
+}
+
+// OLDCViolatorsIn restricts violator detection to the candidate set: it
+// returns the ascending, duplicate-free list of candidates whose OLDC
+// constraint is violated, without touching any other node. cand may be
+// unsorted and may contain duplicates (the incremental recoloring service
+// accumulates dirty sets as unordered endpoint unions); the result is
+// appended to dst, which callers reuse across batches to avoid per-batch
+// allocation.
+//
+// Soundness rests on the OLDC constraint being local to out-arcs: starting
+// from a coloring with no violators, recoloring a node v can only newly
+// violate v itself or nodes with an arc into v, and a mutation can only
+// newly violate its endpoints. A caller that seeds cand with the mutation
+// endpoints and the in-neighbors of every recolored node therefore sees
+// every violator that full-graph detection would.
+func OLDCViolatorsIn(o *graph.Oriented, lists []NodeList, phi Assignment, cand []int, dst []int) []int {
+	base := len(dst)
+	for _, v := range cand {
+		if oldcViolated(o, lists, phi, v) {
+			dst = append(dst, v)
+		}
+	}
+	bad := dst[base:]
+	sort.Ints(bad)
+	// Deduplicate in place; duplicates are adjacent after the sort.
+	w := 0
+	for i, v := range bad {
+		if i == 0 || v != bad[w-1] {
+			bad[w] = v
+			w++
+		}
+	}
+	return dst[:base+w]
 }
 
 // CountOLDCViolations returns the number of nodes whose oriented defect

@@ -12,7 +12,10 @@ import (
 	"sort"
 )
 
-// Graph is an immutable simple undirected graph on vertices 0..N-1.
+// Graph is a simple undirected graph on vertices 0..N-1. Algorithms treat
+// it as immutable; the only mutation paths are the Oriented mutation API
+// (AddEdge/RemoveEdge/AddNode/DetachNode), which keeps the sorted
+// adjacency invariants and exists for the incremental recoloring service.
 type Graph struct {
 	n   int
 	adj [][]int32
@@ -118,19 +121,27 @@ func (g *Graph) ForEachEdge(f func(u, v int)) {
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertex set,
-// along with the mapping from new vertex ids to original ids.
+// along with the mapping from new vertex ids to original ids. vs must not
+// contain duplicates — like the Builder's edge checks, a duplicate is a
+// programmer error and panics (it formerly corrupted the result
+// silently). The translation table is a pooled index slice shared with
+// InducedOriented rather than a per-call map.
 func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
-	idx := make(map[int]int, len(vs))
+	sc := acquireIndex(g.n)
+	defer sc.release(vs)
 	orig := make([]int, len(vs))
 	for i, v := range vs {
-		idx[v] = i
+		if sc.idx[v] >= 0 {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced set", v))
+		}
+		sc.idx[v] = int32(i)
 		orig[i] = v
 	}
 	b := NewBuilder(len(vs))
 	for i, v := range vs {
 		for _, w := range g.adj[v] {
-			if j, ok := idx[int(w)]; ok && j > i {
-				b.AddEdge(i, j)
+			if j := sc.idx[int(w)]; j > int32(i) {
+				b.AddEdge(i, int(j))
 			}
 		}
 	}

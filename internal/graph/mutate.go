@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mutation errors. All mutation entry points return one of these sentinels
+// (wrapped with positional context), so callers — the incremental
+// recoloring service in particular — can branch on the failure kind with
+// errors.Is instead of matching message strings.
+var (
+	// ErrSelfLoop is returned when a mutation names an edge {v,v}.
+	ErrSelfLoop = fmt.Errorf("graph: self loop")
+	// ErrVertexRange is returned when a mutation names a vertex outside
+	// [0, N).
+	ErrVertexRange = fmt.Errorf("graph: vertex out of range")
+	// ErrEdgeExists is returned when adding an edge that is already present.
+	ErrEdgeExists = fmt.Errorf("graph: edge already exists")
+	// ErrNoSuchEdge is returned when removing an edge that is not present.
+	ErrNoSuchEdge = fmt.Errorf("graph: no such edge")
+	// ErrDuplicateVertex is returned by InducedOriented when the vertex set
+	// contains the same vertex twice (the former behavior silently built a
+	// corrupt subgraph: the duplicate keys collapsed in the index while the
+	// adjacency arrays received double entries).
+	ErrDuplicateVertex = fmt.Errorf("graph: duplicate vertex in induced set")
+)
+
+// insert32 inserts x into the sorted slice a, reporting false (and the
+// unchanged slice) when x is already present.
+func insert32(a []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i < len(a) && a[i] == x {
+		return a, false
+	}
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	return a, true
+}
+
+// remove32 removes x from the sorted slice a, reporting false when x is
+// not present.
+func remove32(a []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i >= len(a) || a[i] != x {
+		return a, false
+	}
+	copy(a[i:], a[i+1:])
+	return a[:len(a)-1], true
+}
+
+// checkEndpoints validates a mutation's edge endpoints against the graph.
+func (g *Graph) checkEndpoints(u, v int) error {
+	if u == v {
+		return fmt.Errorf("%w at %d", ErrSelfLoop, u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrVertexRange, u, v, g.n)
+	}
+	return nil
+}
+
+// addEdgeMut inserts the undirected edge {u,v}, keeping adjacency sorted.
+func (g *Graph) addEdgeMut(u, v int) error {
+	if err := g.checkEndpoints(u, v); err != nil {
+		return err
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("%w: {%d,%d}", ErrEdgeExists, u, v)
+	}
+	g.adj[u], _ = insert32(g.adj[u], int32(v))
+	g.adj[v], _ = insert32(g.adj[v], int32(u))
+	g.m++
+	return nil
+}
+
+// removeEdgeMut removes the undirected edge {u,v}.
+func (g *Graph) removeEdgeMut(u, v int) error {
+	if err := g.checkEndpoints(u, v); err != nil {
+		return err
+	}
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("%w: {%d,%d}", ErrNoSuchEdge, u, v)
+	}
+	g.adj[u], _ = remove32(g.adj[u], int32(v))
+	g.adj[v], _ = remove32(g.adj[v], int32(u))
+	g.m--
+	return nil
+}
+
+// addNodeMut appends an isolated vertex and returns its id.
+func (g *Graph) addNodeMut() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts the undirected edge {from,to} into the underlying graph
+// and orients it from→to, keeping every adjacency and arc list sorted. It
+// returns ErrSelfLoop, ErrVertexRange, or ErrEdgeExists (wrapped) on
+// invalid input, leaving the orientation untouched.
+//
+// The mutation API requires the orientation's arc lists to be backed by
+// their own storage (Orient, OrientByID, OrientDegeneracy, EulerOrientation
+// and InducedOriented all qualify). OrientSymmetric aliases the underlying
+// adjacency as its arc lists and must not be mutated.
+func (o *Oriented) AddEdge(from, to int) error {
+	if err := o.g.addEdgeMut(from, to); err != nil {
+		return err
+	}
+	o.out[from], _ = insert32(o.out[from], int32(to))
+	o.in[to], _ = insert32(o.in[to], int32(from))
+	return nil
+}
+
+// RemoveEdge removes the undirected edge {u,v} and every arc covering it
+// (both directions for symmetric coverage). It returns ErrSelfLoop,
+// ErrVertexRange, or ErrNoSuchEdge (wrapped) on invalid input.
+func (o *Oriented) RemoveEdge(u, v int) error {
+	if err := o.g.removeEdgeMut(u, v); err != nil {
+		return err
+	}
+	if o.HasArc(u, v) {
+		o.out[u], _ = remove32(o.out[u], int32(v))
+		o.in[v], _ = remove32(o.in[v], int32(u))
+	}
+	if o.HasArc(v, u) {
+		o.out[v], _ = remove32(o.out[v], int32(u))
+		o.in[u], _ = remove32(o.in[u], int32(v))
+	}
+	return nil
+}
+
+// AddNode appends an isolated vertex to the underlying graph and the
+// orientation, returning its id. Vertex ids are dense and never recycled.
+func (o *Oriented) AddNode() int {
+	id := o.g.addNodeMut()
+	o.out = append(o.out, nil)
+	o.in = append(o.in, nil)
+	return id
+}
+
+// DetachNode removes every edge incident to v, returning how many edges
+// were removed. The vertex itself stays (ids are dense and never
+// recycled); a detached vertex is simply isolated. It returns
+// ErrVertexRange (wrapped) when v is out of range.
+func (o *Oriented) DetachNode(v int) (int, error) {
+	if v < 0 || v >= o.g.n {
+		return 0, fmt.Errorf("%w: vertex %d outside [0,%d)", ErrVertexRange, v, o.g.n)
+	}
+	nbrs := append([]int32(nil), o.g.adj[v]...)
+	for _, w := range nbrs {
+		if err := o.RemoveEdge(v, int(w)); err != nil {
+			return 0, err // unreachable: the adjacency names real edges
+		}
+	}
+	return len(nbrs), nil
+}
+
+// indexScratch is a reusable orig-id → induced-id translation table. It is
+// kept full of -1 between uses: acquirers set exactly the entries of their
+// vertex set and must reset those same entries before releasing, so a
+// lookup costs one slice read and neither acquisition nor release touches
+// the (potentially large) full table. InducedSubgraph and InducedOriented
+// run on every repair retry of the detect-and-repair pipeline and on every
+// mutation batch of the recoloring service, which is what made their
+// former per-call map[int]int allocations hot.
+type indexScratch struct {
+	idx []int32
+}
+
+var indexPool = sync.Pool{New: func() any { return new(indexScratch) }}
+
+// acquireIndex returns a scratch whose idx has at least n entries, all -1.
+func acquireIndex(n int) *indexScratch {
+	sc := indexPool.Get().(*indexScratch)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int32, n)
+		for i := range sc.idx {
+			sc.idx[i] = -1
+		}
+		return sc
+	}
+	grown := sc.idx[:cap(sc.idx)]
+	for i := len(sc.idx); i < len(grown); i++ {
+		grown[i] = -1
+	}
+	sc.idx = grown[:n]
+	return sc
+}
+
+// releaseIndex resets the entries named by vs (ignoring out-of-range ids,
+// which were never set) and returns the scratch to the pool.
+func (sc *indexScratch) release(vs []int) {
+	for _, v := range vs {
+		if v >= 0 && v < len(sc.idx) {
+			sc.idx[v] = -1
+		}
+	}
+	sc.idx = sc.idx[:cap(sc.idx)]
+	indexPool.Put(sc)
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// checkMutated asserts both the undirected and the orientation invariants
+// after a mutation.
+func checkMutated(t *testing.T, o *Oriented) {
+	t.Helper()
+	if err := o.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientedMutationsKeepInvariants(t *testing.T) {
+	g := RandomRegular(32, 4, 7)
+	o := OrientByID(g)
+	checkMutated(t, o)
+
+	// A long deterministic churn sequence: random adds (oriented
+	// larger→smaller, matching OrientByID's policy), removes of known
+	// edges, node additions, and detachments.
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			id := o.AddNode()
+			if id != o.N()-1 {
+				t.Fatalf("AddNode returned %d, want %d", id, o.N()-1)
+			}
+		case 1:
+			v := rng.Intn(o.N())
+			removed, err := o.DetachNode(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := o.Graph().Degree(v); got != 0 {
+				t.Fatalf("detached node %d keeps degree %d (removed %d)", v, got, removed)
+			}
+		case 2, 3, 4:
+			u, v := rng.Intn(o.N()), rng.Intn(o.N())
+			if u == v {
+				continue
+			}
+			if u < v {
+				u, v = v, u
+			}
+			if err := o.AddEdge(u, v); err != nil && !errors.Is(err, ErrEdgeExists) {
+				t.Fatal(err)
+			}
+		default:
+			v := rng.Intn(o.N())
+			if nbrs := o.Graph().Neighbors(v); len(nbrs) > 0 {
+				w := int(nbrs[rng.Intn(len(nbrs))])
+				if err := o.RemoveEdge(v, w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		checkMutated(t, o)
+	}
+	if o.N() <= 32 {
+		t.Fatal("churn sequence added no nodes")
+	}
+}
+
+// TestMutatedMatchesRebuilt pins that a mutated orientation is
+// indistinguishable from one built from scratch over the same edge set,
+// provided every AddEdge followed the by-id policy. This is the property
+// the recoloring service's determinism contract stands on.
+func TestMutatedMatchesRebuilt(t *testing.T) {
+	g := Path(6)
+	o := OrientByID(g)
+	if err := o.AddEdge(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	id := o.AddNode()
+	if err := o.AddEdge(id, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	b.AddEdge(6, 3)
+	want := OrientByID(b.Build())
+	for v := 0; v < o.N(); v++ {
+		if !equal32(o.Out(v), want.Out(v)) || !equal32(o.In(v), want.In(v)) {
+			t.Fatalf("node %d arcs diverge from rebuilt orientation:\nout %v vs %v\nin  %v vs %v",
+				v, o.Out(v), want.Out(v), o.In(v), want.In(v))
+		}
+	}
+	if o.Graph().M() != want.Graph().M() {
+		t.Fatalf("m = %d, want %d", o.Graph().M(), want.Graph().M())
+	}
+}
+
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMutationErrorSentinels(t *testing.T) {
+	o := OrientByID(Path(4))
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"add self loop", o.AddEdge(2, 2), ErrSelfLoop},
+		{"add out of range", o.AddEdge(1, 9), ErrVertexRange},
+		{"add negative", o.AddEdge(-1, 2), ErrVertexRange},
+		{"add existing", o.AddEdge(1, 0), ErrEdgeExists},
+		{"remove self loop", o.RemoveEdge(3, 3), ErrSelfLoop},
+		{"remove out of range", o.RemoveEdge(0, 4), ErrVertexRange},
+		{"remove missing", o.RemoveEdge(0, 2), ErrNoSuchEdge},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.err, tc.want)
+		}
+	}
+	if _, err := o.DetachNode(4); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("detach out of range: got %v, want ErrVertexRange", err)
+	}
+	// Failed mutations must leave the instance untouched.
+	checkMutated(t, o)
+	if o.Graph().M() != 3 {
+		t.Fatalf("failed mutations changed m: %d", o.Graph().M())
+	}
+}
+
+// TestInducedOrientedRejectsDuplicates is the regression test for the
+// silent-corruption bug: a duplicate entry in the vertex set used to
+// collapse in the translation index while the adjacency arrays received
+// double entries, yielding a subgraph that failed Validate (or worse,
+// passed with wrong arcs). It is now a typed error.
+func TestInducedOrientedRejectsDuplicates(t *testing.T) {
+	o := OrientByID(Path(5))
+	if _, _, err := InducedOriented(o, []int{1, 2, 1}); !errors.Is(err, ErrDuplicateVertex) {
+		t.Fatalf("duplicate vertex set: got %v, want ErrDuplicateVertex", err)
+	}
+	if _, _, err := InducedOriented(o, []int{1, 7}); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out-of-range vertex set: got %v, want ErrVertexRange", err)
+	}
+	// The happy path must be unaffected — including immediately after a
+	// failed call returned its pooled index scratch.
+	sub, orig, err := InducedOriented(o, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) != 3 || sub.Graph().M() != 2 {
+		t.Fatalf("induced path: orig=%v m=%d", orig, sub.Graph().M())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	g := Path(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate vertex in InducedSubgraph must panic")
+		}
+	}()
+	g.InducedSubgraph([]int{0, 3, 3})
+}

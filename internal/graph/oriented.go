@@ -111,26 +111,48 @@ func degeneracyOrder(g *Graph) []int {
 // endpoints both survive, plus the mapping from new ids to original ids.
 // Unlike re-running Orient with a HasArc predicate, this preserves
 // symmetric orientations (where both directions of an edge are arcs).
-func InducedOriented(o *Oriented, vs []int) (*Oriented, []int) {
-	sub, orig := o.g.InducedSubgraph(vs)
-	idx := make(map[int]int, len(vs))
+//
+// vs must not contain duplicates: a duplicate entry is reported as a
+// wrapped ErrDuplicateVertex (it formerly produced a silently corrupt
+// subgraph). Out-of-range vertices are reported as ErrVertexRange. The
+// translation table is a pooled index slice rather than a per-call map —
+// this function runs on every repair retry of SolveRobust and on every
+// mutation batch of the recoloring service.
+func InducedOriented(o *Oriented, vs []int) (*Oriented, []int, error) {
+	n := o.N()
+	sc := acquireIndex(n)
+	defer sc.release(vs)
+	orig := make([]int, len(vs))
 	for i, v := range vs {
-		idx[v] = i
+		if v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("%w: vertex %d outside [0,%d)", ErrVertexRange, v, n)
+		}
+		if sc.idx[v] >= 0 {
+			return nil, nil, fmt.Errorf("%w: vertex %d", ErrDuplicateVertex, v)
+		}
+		sc.idx[v] = int32(i)
+		orig[i] = v
 	}
-	res := &Oriented{g: sub, out: make([][]int32, len(vs)), in: make([][]int32, len(vs))}
+	// Every underlying edge carries at least one arc (Validate pins this),
+	// so the surviving arcs determine the induced subgraph's edges; the
+	// Builder dedupes the symmetric case where both directions survive.
+	b := NewBuilder(len(vs))
+	res := &Oriented{out: make([][]int32, len(vs)), in: make([][]int32, len(vs))}
 	for i, v := range vs {
 		for _, w := range o.out[v] {
-			if j, ok := idx[int(w)]; ok {
-				res.out[i] = append(res.out[i], int32(j))
+			if j := sc.idx[int(w)]; j >= 0 {
+				res.out[i] = append(res.out[i], j)
 				res.in[j] = append(res.in[j], int32(i))
+				b.AddEdge(i, int(j))
 			}
 		}
 	}
+	res.g = b.Build()
 	for v := range res.out {
 		sort.Slice(res.out[v], func(i, j int) bool { return res.out[v][i] < res.out[v][j] })
 		sort.Slice(res.in[v], func(i, j int) bool { return res.in[v][i] < res.in[v][j] })
 	}
-	return res, orig
+	return res, orig, nil
 }
 
 // Graph returns the underlying undirected graph.

@@ -17,6 +17,7 @@ var docCheckedPackages = []string{
 	"../chaos",
 	"../oldc",
 	"../obs",
+	"../serve",
 	"../lint",
 }
 

@@ -263,8 +263,30 @@ const (
 	// MetricFamilyArenaBytes gauges bytes reserved by the cache's bump
 	// arena (the resident cost of all cached family derivations).
 	MetricFamilyArenaBytes = "ldc_family_arena_bytes"
+	// MetricServeBatches counts mutation batches applied by the
+	// incremental recoloring service.
+	MetricServeBatches = "ldc_serve_batches_total"
+	// MetricServeMutations counts individual mutations applied.
+	MetricServeMutations = "ldc_serve_mutations_total"
+	// MetricServeRecolored counts nodes whose color changed during
+	// incremental repair (distributed repairs and greedy sweeps alike).
+	MetricServeRecolored = "ldc_serve_recolored_total"
+	// MetricServeQueries counts color queries answered.
+	MetricServeQueries = "ldc_serve_queries_total"
+	// MetricServeDirty gauges the candidate-set size of the last batch.
+	MetricServeDirty = "ldc_serve_dirty_nodes"
+	// MetricServeResidual gauges the violators carried out of the last
+	// batch (0 in steady state).
+	MetricServeResidual = "ldc_serve_residual_nodes"
+	// MetricServeBatchMS is a histogram of per-batch recolor latency in
+	// milliseconds.
+	MetricServeBatchMS = "ldc_serve_recolor_latency_ms"
 )
 
 // RoundMaxBitsBuckets are the default histogram bounds for
 // MetricRoundMaxBits (powers of two spanning one bit to 64Ki bits).
 var RoundMaxBitsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// ServeLatencyBuckets are the default histogram bounds for
+// MetricServeBatchMS (sub-millisecond through 10s, roughly ×3 steps).
+var ServeLatencyBuckets = []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000}

@@ -2,7 +2,6 @@ package oldc
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/coloring"
 	"repro/internal/graph"
@@ -72,7 +71,7 @@ func truncated(vs []int, max int) []int {
 func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assignment, RobustReport, error) {
 	var rep RobustReport
 	if opts.Gap != 0 {
-		return nil, rep, fmt.Errorf("oldc: SolveRobust only handles gap 0")
+		return nil, rep, fmt.Errorf("oldc: SolveRobust: %w", ErrUnsupportedGap)
 	}
 	maxRepairs := opts.MaxRepairs
 	if maxRepairs <= 0 {
@@ -96,18 +95,18 @@ func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assign
 	rep.InitialBad = len(violators)
 	rep.SurvivalRate = float64(n-len(violators)) / float64(n)
 
+	rsc := &RepairScratch{}
 	for iter := 0; iter < maxRepairs && len(violators) > 0; iter++ {
 		rep.ResidualSizes = append(rep.ResidualSizes, len(violators))
 		obs.EmitPhase(eng.Tracer(), "oldc/repair", obs.Attrs{"retry": iter, "violators": len(violators)})
-		subPhi, subStats, rerr := repairResidual(eng, in, phi, violators, solveOpts)
+		subStats, rerr := RepairRegion(in, phi, violators, RegionOptions{
+			Options: solveOpts, Tracer: eng.Tracer(), Metrics: eng.Metrics(), Scratch: rsc,
+		})
 		rep.Stats = rep.Stats.Add(subStats)
 		rep.RepairRounds += subStats.Rounds
 		rep.Repairs++
 		if rerr != nil {
 			break // fall through to the greedy sweep
-		}
-		for i, v := range violators {
-			phi[v] = subPhi[i]
 		}
 		next := coloring.OLDCViolators(in.O, in.Lists, phi)
 		if len(next) >= len(violators) {
@@ -131,82 +130,18 @@ func SolveRobust(eng *sim.Engine, in Input, opts RobustOptions) (coloring.Assign
 	return phi, rep, nil
 }
 
-// repairResidual re-solves the subinstance induced by the violators: the
-// induced oriented subgraph, lists restricted to colors that still have
-// defect budget left after subtracting same-colored fixed out-neighbors,
-// and the original proper init coloring (a proper coloring stays proper on
-// an induced subgraph). Runs on a fresh fault-free engine that inherits the
-// parent engine's tracer and metrics registry, so repairs show up in the
-// same trace as the faulty run they fix.
-func repairResidual(eng *sim.Engine, in Input, phi coloring.Assignment, violators []int, opts Options) (coloring.Assignment, sim.Stats, error) {
-	subO, orig := graph.InducedOriented(in.O, violators)
-	inResidual := make(map[int]bool, len(violators))
-	for _, v := range violators {
-		inResidual[v] = true
-	}
-	lists := make([]coloring.NodeList, len(orig))
-	inits := make([]int, len(orig))
-	for i, v := range orig {
-		// Count fixed (non-residual) same-colored out-neighbors per color.
-		fixed := map[int]int{}
-		for _, u := range in.O.Out(v) {
-			if !inResidual[int(u)] && phi[u] != coloring.Unset {
-				fixed[phi[u]]++
-			}
-		}
-		l := in.Lists[v]
-		var colors, defs []int
-		for k, x := range l.Colors {
-			if rem := l.Defect[k] - fixed[x]; rem >= 0 {
-				colors = append(colors, x)
-				defs = append(defs, rem)
-			}
-		}
-		if len(colors) == 0 {
-			// Every color's budget is already spent by fixed neighbors; keep
-			// the least-overspent color so the solver has a list to work
-			// with. The node may stay violated and fall to the next round.
-			bestK, bestRem := 0, math.MinInt
-			for k, x := range l.Colors {
-				if rem := l.Defect[k] - fixed[x]; rem > bestRem {
-					bestRem, bestK = rem, k
-				}
-			}
-			colors = []int{l.Colors[bestK]}
-			defs = []int{0}
-		}
-		lists[i] = coloring.NodeList{Colors: colors, Defect: defs}
-		inits[i] = in.InitColors[v]
-	}
-	rin := Input{O: subO, SpaceSize: in.SpaceSize, Lists: lists, InitColors: inits, M: in.M}
-	ropts := Options{Params: opts.Params, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache}
-	reng := sim.NewEngineWith(subO.Graph(), sim.Options{Tracer: eng.Tracer(), Metrics: eng.Metrics()})
-	return SolveMulti(reng, rin, ropts)
-}
-
 // greedySweep deterministically recolors violators in ascending id order,
 // giving each the on-list color with the most remaining defect budget
-// against the current coloring, for up to maxSweeps passes or until the
-// violator set is empty. Returns the number of recolorings applied; the
-// violator slice is updated in place to the final violation set.
+// against the current coloring (GreedyRecolor), for up to maxSweeps passes
+// or until the violator set is empty. Returns the number of recolorings
+// applied; the violator slice is updated in place to the final violation
+// set.
 func greedySweep(o *graph.Oriented, lists []coloring.NodeList, phi coloring.Assignment, violators *[]int, maxSweeps int) int {
 	touched := 0
 	for pass := 0; pass < maxSweeps && len(*violators) > 0; pass++ {
 		for _, v := range *violators {
-			bestX, bestSlack := -1, math.MinInt
-			for k, x := range lists[v].Colors {
-				same := 0
-				for _, u := range o.Out(v) {
-					if phi[u] == x {
-						same++
-					}
-				}
-				if slack := lists[v].Defect[k] - same; slack > bestSlack {
-					bestSlack, bestX = slack, x
-				}
-			}
-			if bestX >= 0 && bestX != phi[v] {
-				phi[v] = bestX
+			if x, changed := GreedyRecolor(o, lists, phi, v); changed {
+				phi[v] = x
 				touched++
 			}
 		}

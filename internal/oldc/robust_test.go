@@ -153,8 +153,16 @@ func TestSolveRobustRejectsGap(t *testing.T) {
 	in, _ := prepareInput(t, o, 256, 4.0, 1, 3)
 	opts := RobustOptions{}
 	opts.Gap = 1
-	if _, _, err := SolveRobust(sim.NewEngine(g), in, opts); err == nil {
+	_, _, err := SolveRobust(sim.NewEngine(g), in, opts)
+	if err == nil {
 		t.Fatal("gap != 0 must be rejected")
+	}
+	if !errors.Is(err, ErrUnsupportedGap) {
+		t.Fatalf("gap rejection is not the typed sentinel: %v", err)
+	}
+	if _, err := RepairRegion(in, coloring.Assignment{5, 5, 5, 5, 5, 5, 5, 5}, []int{0},
+		RegionOptions{Options: opts.Options}); !errors.Is(err, ErrUnsupportedGap) {
+		t.Fatalf("RepairRegion gap rejection is not the typed sentinel: %v", err)
 	}
 }
 
@@ -177,20 +185,22 @@ func TestRepairResidualBudgets(t *testing.T) {
 	if !reflect.DeepEqual(violators, []int{1, 2}) {
 		t.Fatalf("setup: violators = %v, want [1 2]", violators)
 	}
-	subPhi, _, err := repairResidual(sim.NewEngine(g), in, phi, violators, Options{})
-	if err != nil {
+	if _, err := RepairRegion(in, phi, violators, RegionOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Node 1 points at fixed node 0 (color 5) with defect 0 for color 5, so
 	// its residual budget for 5 is negative: the residual list must exclude
 	// 5 and node 1 must be recolored 9.
-	if subPhi[0] != 9 {
-		t.Fatalf("node 1 recolored to %d, want 9", subPhi[0])
+	if phi[1] != 9 {
+		t.Fatalf("node 1 recolored to %d, want 9", phi[1])
 	}
-	// Node 2's only out-neighbor (node 1) is in the residual, so both its
+	// Nodes outside the region must be untouched.
+	if phi[0] != 5 || phi[3] != 5 {
+		t.Fatalf("repair touched fixed nodes: %v", phi)
+	}
+	// Node 2's only out-neighbor (node 1) is in the region, so both its
 	// colors keep their budgets; whatever it picks must satisfy the merged
 	// instance.
-	phi[1], phi[2] = subPhi[0], subPhi[1]
 	if got := coloring.OLDCViolators(o, lists, phi); len(got) != 0 {
 		t.Fatalf("merged repair leaves violators %v (phi=%v)", got, phi)
 	}
