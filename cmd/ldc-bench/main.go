@@ -37,6 +37,8 @@ func run() int {
 	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	chaosbench := flag.String("chaosbench", "", "run detect-and-repair solving under every built-in fault schedule and write machine-readable JSON to this path ('-' for stdout), then exit")
 	servebench := flag.String("servebench", "", "run the incremental recoloring service under sustained churn and write machine-readable JSON to this path ('-' for stdout), then exit")
+	shardbench := flag.String("shardbench", "", "run the sharded-engine scaling curve and the large streamed power-law solve, write machine-readable JSON to this path ('-' for stdout), then exit")
+	shardSolveOut := flag.String("shardsolve-out", "", "with -shardbench: also write the big run's instance+coloring as an ldc-verify document to this path")
 	tracePath := flag.String("trace", "", "run the canonical traced Δ=64 solve, write its ldc-trace/v1 JSONL to this path ('-' for stdout), verify reconciliation, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -112,6 +114,18 @@ func run() int {
 		}
 		if err := rep.WriteJSON(*servebench); err != nil {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *shardbench != "" {
+		rep, err := bench.RunShardBench(*quick, *shardSolveOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(*shardbench); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
 			return 1
 		}
 		return 0

@@ -8,6 +8,8 @@
 //	ldc-run -graph gnp -n 200 -p 0.05 -algo luby -json
 //	ldc-run -graph torus -rows 8 -cols 8 -algo mis
 //	ldc-run -graph regular -n 64 -deg 8 -algo oldc -kappa 6
+//	ldc-run -graph file:web.edges -algo degluby  # edge-list file on disk
+//	ldc-run -graph pa -n 100000 -deg 3 -algo luby -shards 8
 //	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
 //	ldc-run -algo oldc -trace run.jsonl          # then: ldc-trace run.jsonl
 //	ldc-run -algo delta1 -cpuprofile cpu.out
@@ -30,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/chaos"
@@ -41,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oldc"
 	"repro/internal/seq"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -108,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("ldc-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gname  = fs.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric")
+		gname  = fs.String("graph", "regular", "ring|clique|grid|torus|hypercube|regular|gnp|tree|pa|geometric, or file:<path> for an edge-list file")
 		n      = fs.Int("n", 64, "node count (where applicable)")
 		deg    = fs.Int("deg", 6, "degree for regular / attachment count for pa")
 		p      = fs.Float64("p", 0.1, "edge probability for gnp")
@@ -117,7 +121,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		dim    = fs.Int("dim", 6, "dimension for hypercube")
 		radius = fs.Float64("radius", 0.15, "radius for geometric")
 		seed   = fs.Int64("seed", 1, "generator seed")
-		algo   = fs.String("algo", "delta1", "delta1|linear|slow|luby|greedy|mis|mis-luby|oldc")
+		algo   = fs.String("algo", "delta1", "delta1|linear|slow|luby|degluby|greedy|mis|mis-luby|oldc")
+		shards = fs.Int("shards", 1, "route rounds through this many contiguous shards (luby and degluby only)")
 		kappa  = fs.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
 		spec   = fs.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
 		repair = fs.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
@@ -182,6 +187,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if (*spec != "" || *repair) && *algo != "oldc" {
 		fatalf(2, "-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
 	}
+	if *shards > 1 && *algo != "luby" && *algo != "degluby" {
+		fatalf(2, "-shards only applies to -algo luby or degluby (the other algorithms are written against the serial engine)")
+	}
 
 	// engineOpts carries the observers into every engine this command
 	// creates directly; the congest/arb layers thread them further down.
@@ -210,7 +218,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		traceStats = stats
 		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
 	case "luby":
-		phi, stats, err := baseline.Luby(sim.NewEngineWith(g, engineOpts), g, *seed)
+		phi, stats, err := baseline.Luby(runnerFor(g, *shards, engineOpts), g, *seed)
+		die(err)
+		fill(&out, stats, phi)
+		traceStats = stats
+		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+	case "degluby":
+		phi, stats, err := baseline.DegreeLuby(runnerFor(g, *shards, engineOpts), g, *seed)
 		die(err)
 		fill(&out, stats, phi)
 		traceStats = stats
@@ -361,6 +375,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	return 0
 }
 
+// runnerFor selects the engine a runner-generic algorithm executes on: the
+// serial sim.Engine by default, the sharded engine when -shards asks for
+// it. Both carry the same tracer/metrics observers, and the sharded
+// engine's output is bit-identical to the serial one, so the choice only
+// affects routing locality.
+func runnerFor(g *graph.Graph, shards int, opts sim.Options) sim.Runner {
+	if shards <= 1 {
+		return sim.NewEngineWith(g, opts)
+	}
+	return shard.FromGraph(g, shard.Options{
+		Shards:  shards,
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
+	})
+}
+
 // tracerOrNil converts a possibly-nil *obs.JSONL into an obs.Tracer that is
 // a true nil interface when no trace was requested, so the engine's
 // zero-overhead nil check works.
@@ -383,6 +413,11 @@ func resolveChaos(spec string, seed uint64, g *graph.Graph) (sim.FaultModel, err
 }
 
 func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius float64, seed int64) *graph.Graph {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		g, err := graph.LoadEdgeListFile(path)
+		die(err)
+		return g
+	}
 	switch name {
 	case "ring":
 		return graph.Ring(n)

@@ -115,18 +115,16 @@ func CompleteKary(k, levels int) *Graph {
 	return b.Build()
 }
 
-// GNP returns an Erdős–Rényi G(n, p) sample.
+// GNP returns an Erdős–Rényi G(n, p) sample. It is defined as the
+// materialization of StreamGNP, so the streamed and materialized variants
+// produce the identical graph for the same parameters (pinned by
+// TestStreamMaterializedEquivalence).
 func GNP(n int, p float64, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	b := NewBuilder(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if rng.Float64() < p {
-				b.AddEdge(i, j)
-			}
-		}
+	g, err := Materialize(StreamGNP(n, p, seed))
+	if err != nil {
+		panic(err) // generator streams never fail
 	}
-	return b.Build()
+	return g
 }
 
 // RandomRegular returns a d-regular graph on n vertices sampled via the
@@ -212,33 +210,17 @@ func RandomRegular(n, d int, seed int64) *Graph {
 
 // PreferentialAttachment returns a Barabási–Albert style power-law graph:
 // each new vertex attaches to k distinct earlier vertices chosen with
-// probability proportional to their degree.
+// probability proportional to their degree. It is defined as the
+// materialization of StreamPreferentialAttachment, which also fixed a
+// long-standing reproducibility bug: the previous implementation appended
+// sampling endpoints in Go map iteration order, so the same seed could
+// yield different graphs between runs.
 func PreferentialAttachment(n, k int, seed int64) *Graph {
-	if n < k+1 {
-		panic("graph: PreferentialAttachment needs n > k")
+	g, err := Materialize(StreamPreferentialAttachment(n, k, seed))
+	if err != nil {
+		panic(err) // generator streams never fail
 	}
-	rng := rand.New(rand.NewSource(seed))
-	b := NewBuilder(n)
-	// Repeated-endpoint list: picking a uniform element samples
-	// proportionally to degree.
-	var endpoints []int
-	for i := 0; i < k+1; i++ {
-		for j := i + 1; j < k+1; j++ {
-			b.AddEdge(i, j)
-			endpoints = append(endpoints, i, j)
-		}
-	}
-	for v := k + 1; v < n; v++ {
-		chosen := make(map[int]bool, k)
-		for len(chosen) < k {
-			chosen[endpoints[rng.Intn(len(endpoints))]] = true
-		}
-		for u := range chosen {
-			b.AddEdge(v, u)
-			endpoints = append(endpoints, v, u)
-		}
-	}
-	return b.Build()
+	return g
 }
 
 // RandomTree returns a uniformly random labeled tree (Prüfer sequence).

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// collectEdges drains a stream into a normalized (u<v sorted) edge set via
+// a materialized graph, so stream/graph comparisons share one canonical
+// form.
+func collectEdges(t *testing.T, es EdgeStream) [][2]int {
+	t.Helper()
+	g, err := Materialize(es)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	var edges [][2]int
+	g.ForEachEdge(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	return edges
+}
+
+// TestStreamMaterializedEquivalence pins the satellite contract: for every
+// streaming generator, the streamed edges are exactly the materialized
+// graph's edges (the generators are defined as Materialize of the stream,
+// and this test keeps that true through refactors).
+func TestStreamMaterializedEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		es   EdgeStream
+		g    *Graph
+	}{
+		{"gnp-sparse", StreamGNP(200, 0.03, 7), GNP(200, 0.03, 7)},
+		{"gnp-dense", StreamGNP(60, 0.5, 11), GNP(60, 0.5, 11)},
+		{"gnp-full", StreamGNP(20, 1.0, 3), GNP(20, 1.0, 3)},
+		{"gnp-empty", StreamGNP(20, 0, 3), GNP(20, 0, 3)},
+		{"pa", StreamPreferentialAttachment(150, 3, 42), PreferentialAttachment(150, 3, 42)},
+		{"pa-k1", StreamPreferentialAttachment(64, 1, 5), PreferentialAttachment(64, 1, 5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := collectEdges(t, c.es)
+			var want [][2]int
+			c.g.ForEachEdge(func(u, v int) { want = append(want, [2]int{u, v}) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("streamed edges (%d) != materialized graph edges (%d)", len(got), len(want))
+			}
+			if c.es.N() != c.g.N() {
+				t.Fatalf("N mismatch: stream %d graph %d", c.es.N(), c.g.N())
+			}
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStreamRestartable verifies a stream yields the identical edge
+// sequence on every traversal — the property ingest + re-emission relies
+// on.
+func TestStreamRestartable(t *testing.T) {
+	streams := []EdgeStream{
+		StreamGNP(100, 0.1, 9),
+		StreamPreferentialAttachment(100, 2, 9),
+	}
+	for _, es := range streams {
+		var first, second [][2]int
+		if err := es.ForEachEdge(func(u, v int) error { first = append(first, [2]int{u, v}); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := es.ForEachEdge(func(u, v int) error { second = append(second, [2]int{u, v}); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("stream not restartable: %d vs %d edges", len(first), len(second))
+		}
+		if len(first) == 0 {
+			t.Fatal("stream emitted no edges")
+		}
+	}
+}
+
+// TestPADeterministicAcrossRuns guards the reproducibility fix: the
+// pre-streaming PreferentialAttachment appended endpoints in map iteration
+// order, so the same seed could produce different graphs. The streamed
+// implementation must be a pure function of (n, k, seed).
+func TestPADeterministicAcrossRuns(t *testing.T) {
+	var prev [][2]int
+	for run := 0; run < 5; run++ {
+		var edges [][2]int
+		es := StreamPreferentialAttachment(300, 3, 1234)
+		if err := es.ForEachEdge(func(u, v int) error { edges = append(edges, [2]int{u, v}); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !reflect.DeepEqual(prev, edges) {
+			t.Fatalf("run %d produced a different edge sequence", run)
+		}
+		prev = edges
+	}
+}
+
+// TestStreamEmitAbort verifies emit errors abort the traversal and
+// propagate.
+func TestStreamEmitAbort(t *testing.T) {
+	want := errors.New("stop")
+	for _, es := range []EdgeStream{StreamGNP(50, 0.5, 1), StreamPreferentialAttachment(50, 2, 1)} {
+		calls := 0
+		err := es.ForEachEdge(func(u, v int) error {
+			calls++
+			if calls == 3 {
+				return want
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("got %v, want sentinel", err)
+		}
+		if calls != 3 {
+			t.Fatalf("emit called %d times after abort", calls)
+		}
+	}
+}
+
+// TestStreamGNPDegreeSanity spot-checks the skip-sampling math: the edge
+// count of a large sparse sample must land near n(n-1)/2 · p.
+func TestStreamGNPDegreeSanity(t *testing.T) {
+	n, p := 2000, 0.01
+	g, err := Materialize(StreamGNP(n, p, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(n) * float64(n-1) / 2 * p
+	if ratio := float64(g.M()) / expected; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("m=%d, expected ≈%.0f (ratio %.3f)", g.M(), expected, ratio)
+	}
+}
+
+// TestGraphStreamAdapter checks Stream(g) round-trips through Materialize.
+func TestGraphStreamAdapter(t *testing.T) {
+	g := Torus(5, 7)
+	g2, err := Materialize(Stream(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: n %d→%d m %d→%d", g.N(), g2.N(), g.M(), g2.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if !reflect.DeepEqual(g.Neighbors(v), g2.Neighbors(v)) {
+			t.Fatalf("adjacency of %d changed", v)
+		}
+	}
+}

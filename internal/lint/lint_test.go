@@ -18,6 +18,7 @@ var docCheckedPackages = []string{
 	"../oldc",
 	"../obs",
 	"../serve",
+	"../shard",
 	"../lint",
 }
 

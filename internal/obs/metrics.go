@@ -281,6 +281,13 @@ const (
 	// MetricServeBatchMS is a histogram of per-batch recolor latency in
 	// milliseconds.
 	MetricServeBatchMS = "ldc_serve_recolor_latency_ms"
+	// MetricShardBoundaryMsgs gauges the cross-shard (ghost-boundary) wires
+	// routed by the sharded engine's current run.
+	MetricShardBoundaryMsgs = "ldc_shard_boundary_msgs"
+	// MetricShardGhostNodes gauges the ghost nodes a sharded partition
+	// replicates: remote endpoints referenced by each shard's adjacency,
+	// summed over shards.
+	MetricShardGhostNodes = "ldc_shard_ghost_nodes"
 )
 
 // RoundMaxBitsBuckets are the default histogram bounds for

@@ -1,0 +1,424 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/chaos"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// shardCounts are the partition sizes every golden table exercises; 7 does
+// not divide the test graph orders, so the last shard is ragged.
+var shardCounts = []int{1, 2, 4, 7}
+
+// mixedAlg exercises every messaging shape at once — a broadcast, a
+// targeted send, and periodically a second broadcast (same sender/receiver
+// pair twice in one round) — mirroring the serial engine's golden
+// workload. The seen sums depend on delivery content and per-inbox order.
+type mixedAlg struct {
+	t     graph.Topology
+	r     sim.Runner // for ReportDecodeFault; nil outside fault tests
+	round int
+	seen  []int64
+}
+
+func newMixed(t graph.Topology) *mixedAlg { return &mixedAlg{t: t, seen: make([]int64, t.N())} }
+
+func (a *mixedAlg) Outbox(v int, out *sim.Outbox) {
+	out.Broadcast(sim.VarintPayload{Value: uint64(v + a.round)})
+	if nbr := a.t.Neighbors(v); len(nbr) > 0 {
+		out.SendTo(int(nbr[0]), sim.UintPayload{Value: uint64(v % 16), Width: 4})
+	}
+	if a.round%3 == 0 {
+		out.Broadcast(sim.BitsetPayload{Set: []int{v % 7}, Universe: 7})
+	}
+}
+
+func (a *mixedAlg) Inbox(v int, in []sim.Received) {
+	for i, m := range in {
+		// Weight by position so any inbox reordering changes the sums.
+		a.seen[v] += int64(m.From+1) * int64(i+1)
+		if _, corrupt := m.Payload.(sim.CorruptPayload); corrupt && a.r != nil {
+			a.r.ReportDecodeFault()
+		}
+	}
+}
+
+func (a *mixedAlg) Done() bool {
+	a.round++
+	return a.round > 10
+}
+
+// runSerial executes the workload on the serial engine with the given
+// worker count.
+func runSerial(t *testing.T, g *graph.Graph, workers int, opts sim.Options) (sim.Stats, []int64) {
+	t.Helper()
+	opts.Workers = workers
+	eng := sim.NewEngineWith(g, opts)
+	alg := newMixed(g)
+	alg.r = eng
+	stats, err := eng.Run(alg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, alg.seen
+}
+
+// runSharded executes the workload on the sharded engine with S shards.
+func runSharded(t *testing.T, g *graph.Graph, s int, opts Options) (sim.Stats, []int64) {
+	t.Helper()
+	opts.Shards = s
+	eng := FromGraph(g, opts)
+	alg := newMixed(eng)
+	alg.r = eng
+	stats, err := eng.Run(alg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, alg.seen
+}
+
+// TestGoldenStatsAcrossShards pins the tentpole determinism contract: the
+// sharded engine's Stats and delivered message state are bit-identical to
+// the serial engine — S=1 against the existing engine, and every tested
+// shard count against every tested worker count.
+func TestGoldenStatsAcrossShards(t *testing.T) {
+	g := graph.GNP(150, 0.08, 42)
+	for _, workers := range []int{1, 4} {
+		want, wantSeen := runSerial(t, g, workers, sim.Options{})
+		for _, s := range shardCounts {
+			got, gotSeen := runSharded(t, g, s, Options{})
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("workers=%d shards=%d: stats diverge:\n want %+v\n  got %+v", workers, s, want, got)
+			}
+			if !reflect.DeepEqual(wantSeen, gotSeen) {
+				t.Errorf("workers=%d shards=%d: delivered messages diverge", workers, s)
+			}
+		}
+	}
+}
+
+// TestGoldenFaultedLedger runs a chaos schedule (i.i.d. drops composed with
+// bit flips) and requires the full Stats — including the per-round fault
+// ledger and receiver-reported decode faults — to merge identically for
+// every shard and worker count.
+func TestGoldenFaultedLedger(t *testing.T) {
+	g := graph.GNP(120, 0.1, 7)
+	model := chaos.Compose(chaos.Drop(11, 0.2), chaos.Flip(13, 0.15))
+	want, wantSeen := runSerial(t, g, 1, sim.Options{Faults: model})
+	if want.TotalFaults().Dropped == 0 || want.TotalFaults().Corrupted == 0 || want.TotalFaults().DecodeFaults == 0 {
+		t.Fatalf("test schedule produced no faults to compare: %+v", want.TotalFaults())
+	}
+	for _, workers := range []int{1, 4} {
+		ws, wseen := runSerial(t, g, workers, sim.Options{Faults: model})
+		if !reflect.DeepEqual(want, ws) || !reflect.DeepEqual(wantSeen, wseen) {
+			t.Fatalf("serial engine not worker-independent; cannot golden-test against it")
+		}
+	}
+	for _, s := range shardCounts {
+		got, gotSeen := runSharded(t, g, s, Options{Faults: model})
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d: faulted stats diverge:\n want %+v\n  got %+v", s, want, got)
+		}
+		if !reflect.DeepEqual(wantSeen, gotSeen) {
+			t.Errorf("shards=%d: faulted deliveries diverge", s)
+		}
+	}
+}
+
+// TestGoldenLubyColoring requires the full randomized solve — coloring and
+// Stats — to be bit-identical between the serial engine and every shard
+// count, on both generator families.
+func TestGoldenLubyColoring(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp": graph.GNP(200, 0.05, 3),
+		"pa":  graph.PreferentialAttachment(200, 3, 9),
+	}
+	for name, g := range graphs {
+		wantPhi, wantStats, err := baseline.Luby(sim.NewEngine(g), g, 17)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, s := range shardCounts {
+			eng := FromGraph(g, Options{Shards: s})
+			phi, stats, err := baseline.Luby(eng, eng, 17)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, s, err)
+			}
+			if !reflect.DeepEqual(wantPhi, phi) {
+				t.Errorf("%s shards=%d: coloring diverges", name, s)
+			}
+			if !reflect.DeepEqual(wantStats, stats) {
+				t.Errorf("%s shards=%d: stats diverge:\n want %+v\n  got %+v", name, s, wantStats, stats)
+			}
+		}
+	}
+}
+
+// TestGoldenDegreeLuby does the same for the degree+1-palette variant,
+// including that it equals itself across shard counts on a ragged
+// partition.
+func TestGoldenDegreeLuby(t *testing.T) {
+	g := graph.PreferentialAttachment(300, 3, 21)
+	wantPhi, wantStats, err := baseline.DegreeLuby(sim.NewEngine(g), g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shardCounts {
+		eng := FromGraph(g, Options{Shards: s})
+		phi, stats, err := baseline.DegreeLuby(eng, eng, 5)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", s, err)
+		}
+		if !reflect.DeepEqual(wantPhi, phi) || !reflect.DeepEqual(wantStats, stats) {
+			t.Errorf("shards=%d: DegreeLuby diverges from serial run", s)
+		}
+	}
+}
+
+// TestGoldenTraces pins byte-identical JSONL round traces across engines
+// and shard counts (the tracer runs post-merge on the coordinator, so
+// shard scheduling must never leak into trace bytes).
+func TestGoldenTraces(t *testing.T) {
+	g := graph.GNP(80, 0.1, 5)
+	trace := func(run func(tr obs.Tracer)) []byte {
+		var buf bytes.Buffer
+		tr := obs.NewJSONL(&buf)
+		run(tr)
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := trace(func(tr obs.Tracer) {
+		if _, err := sim.NewEngineWith(g, sim.Options{Tracer: tr}).Run(newMixed(g), 12); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, s := range shardCounts {
+		got := trace(func(tr obs.Tracer) {
+			eng := FromGraph(g, Options{Shards: s, Tracer: tr})
+			if _, err := eng.Run(newMixed(eng), 12); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !bytes.Equal(want, got) {
+			t.Errorf("shards=%d: trace bytes diverge\n want %s\n  got %s", s, want, got)
+		}
+	}
+}
+
+// TestBandwidthParity pins the CONGEST assertion path: the same first
+// violating wire and the same partially-accounted Stats on every engine.
+func TestBandwidthParity(t *testing.T) {
+	g := graph.GNP(60, 0.15, 2)
+	serial := sim.NewEngineWith(g, sim.Options{Bandwidth: 3})
+	wantStats, wantErr := serial.Run(newMixed(g), 12)
+	if wantErr == nil {
+		t.Fatal("expected a bandwidth violation")
+	}
+	for _, s := range shardCounts {
+		eng := FromGraph(g, Options{Shards: s, Bandwidth: 3})
+		gotStats, gotErr := eng.Run(newMixed(eng), 12)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Errorf("shards=%d: error %v, want %v", s, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Errorf("shards=%d: failure stats diverge:\n want %+v\n  got %+v", s, wantStats, gotStats)
+		}
+	}
+}
+
+// badSender targets a non-neighbor from node 2 in round 1.
+type badSender struct{ round int }
+
+func (a *badSender) Outbox(v int, out *sim.Outbox) {
+	if a.round == 1 && v == 2 {
+		out.SendTo(v, sim.UintPayload{Value: 1, Width: 1}) // self is never adjacent
+	}
+}
+func (a *badSender) Inbox(int, []sim.Received) {}
+func (a *badSender) Done() bool                { a.round++; return a.round > 4 }
+
+// TestValidateParity pins the Validate error path: same message, and the
+// failing round's routing never contaminates Stats.
+func TestValidateParity(t *testing.T) {
+	g := graph.Ring(12)
+	serial := sim.NewEngineWith(g, sim.Options{Validate: true})
+	wantStats, wantErr := serial.Run(&badSender{}, 8)
+	if wantErr == nil {
+		t.Fatal("expected a validation error")
+	}
+	for _, s := range shardCounts {
+		eng := FromGraph(g, Options{Shards: s, Validate: true})
+		gotStats, gotErr := eng.Run(&badSender{}, 8)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Errorf("shards=%d: error %v, want %v", s, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Errorf("shards=%d: stats diverge:\n want %+v\n  got %+v", s, wantStats, gotStats)
+		}
+	}
+}
+
+// floodOnce broadcasts in the first round only, then quiesces: the engines
+// must agree on quiescent termination and its Stats. Done runs before each
+// round's Outbox, so round is 1 during the first collection.
+type floodOnce struct {
+	round int
+}
+
+func (a *floodOnce) Outbox(v int, out *sim.Outbox) {
+	if a.round == 1 {
+		out.Broadcast(sim.UintPayload{Value: uint64(v), Width: 10})
+	}
+}
+func (a *floodOnce) Inbox(int, []sim.Received) {}
+func (a *floodOnce) Done() bool                { a.round++; return false }
+func (a *floodOnce) Quiesced() bool            { return true }
+
+// TestQuiescenceParity pins early termination on network silence.
+func TestQuiescenceParity(t *testing.T) {
+	g := graph.Torus(5, 6)
+	wantStats, err := sim.NewEngine(g).Run(&floodOnce{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantStats.Rounds >= 100 {
+		t.Fatal("quiescence did not trigger on serial engine")
+	}
+	for _, s := range shardCounts {
+		eng := FromGraph(g, Options{Shards: s})
+		gotStats, err := eng.Run(&floodOnce{}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Errorf("shards=%d: quiescent stats diverge:\n want %+v\n  got %+v", s, wantStats, gotStats)
+		}
+	}
+}
+
+// TestIngestMatchesFromGraph checks streamed ingest against materialized
+// construction: identical adjacency, Δ, and partition census.
+func TestIngestMatchesFromGraph(t *testing.T) {
+	es := graph.StreamGNP(180, 0.06, 31)
+	g, err := graph.Materialize(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shardCounts {
+		streamed, err := Ingest(es, Options{Shards: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		materialized := FromGraph(g, Options{Shards: s})
+		if streamed.N() != g.N() || streamed.MaxDegree() != g.MaxDegree() {
+			t.Fatalf("shards=%d: shape mismatch n=%d Δ=%d", s, streamed.N(), streamed.MaxDegree())
+		}
+		for v := 0; v < g.N(); v++ {
+			if !reflect.DeepEqual(streamed.Neighbors(v), g.Neighbors(v)) {
+				t.Fatalf("shards=%d: adjacency of %d diverges from graph", s, v)
+			}
+		}
+		if streamed.GhostNodes() != materialized.GhostNodes() || streamed.BoundaryEdges() != materialized.BoundaryEdges() {
+			t.Errorf("shards=%d: census diverges: ghosts %d/%d boundary %d/%d", s,
+				streamed.GhostNodes(), materialized.GhostNodes(),
+				streamed.BoundaryEdges(), materialized.BoundaryEdges())
+		}
+	}
+}
+
+// TestPartitionCensus pins ghost/boundary counts on a graph where they are
+// computable by hand: the ring 0-1-...-7-0 split into two shards has
+// exactly two crossing edges and four ghost references.
+func TestPartitionCensus(t *testing.T) {
+	eng := FromGraph(graph.Ring(8), Options{Shards: 2})
+	if eng.BoundaryEdges() != 2 {
+		t.Errorf("boundary edges = %d, want 2", eng.BoundaryEdges())
+	}
+	if eng.GhostNodes() != 4 {
+		t.Errorf("ghost nodes = %d, want 4", eng.GhostNodes())
+	}
+	if one := FromGraph(graph.Ring(8), Options{Shards: 1}); one.BoundaryEdges() != 0 || one.GhostNodes() != 0 {
+		t.Errorf("unsharded census nonzero: %d/%d", one.BoundaryEdges(), one.GhostNodes())
+	}
+}
+
+// errStream wraps a fixed edge list as a restartable stream.
+type errStream struct {
+	n     int
+	edges [][2]int
+}
+
+func (s errStream) N() int { return s.n }
+func (s errStream) ForEachEdge(emit func(u, v int) error) error {
+	for _, e := range s.edges {
+		if err := emit(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestIngestErrors pins the typed-error contract of streamed ingest:
+// duplicate edges, self loops, and out-of-range endpoints fail with the
+// graph package's sentinels instead of panicking like Builder.
+func TestIngestErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		es    graph.EdgeStream
+		cause error
+	}{
+		{"duplicate", errStream{n: 4, edges: [][2]int{{0, 1}, {1, 2}, {1, 0}}}, graph.ErrDuplicateEdge},
+		{"self-loop", errStream{n: 4, edges: [][2]int{{0, 1}, {2, 2}}}, graph.ErrSelfLoop},
+		{"out-of-range", errStream{n: 4, edges: [][2]int{{0, 5}}}, graph.ErrVertexRange},
+		{"negative", errStream{n: 4, edges: [][2]int{{-1, 2}}}, graph.ErrVertexRange},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, s := range []int{1, 3} {
+				if _, err := Ingest(c.es, Options{Shards: s}); !errors.Is(err, c.cause) {
+					t.Errorf("shards=%d: got %v, want %v", s, err, c.cause)
+				}
+			}
+		})
+	}
+}
+
+// TestShardMetrics checks the gauge catalog entries: ghost nodes published
+// at construction, boundary messages accumulated over a run, and the sim
+// round counters matching the serial engine's.
+func TestShardMetrics(t *testing.T) {
+	g := graph.Ring(16)
+	reg := obs.NewRegistry()
+	eng := FromGraph(g, Options{Shards: 4, Metrics: reg})
+	if _, err := eng.Run(&floodOnce{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges[obs.MetricShardGhostNodes]; got != int64(eng.GhostNodes()) {
+		t.Errorf("ghost gauge = %d, want %d", got, eng.GhostNodes())
+	}
+	// Round 0 floods every wire; the 8 boundary wires (2 per cut, 4 cuts)
+	// cross shards.
+	if got := snap.Gauges[obs.MetricShardBoundaryMsgs]; got != 8 {
+		t.Errorf("boundary gauge = %d, want 8", got)
+	}
+	serialReg := obs.NewRegistry()
+	if _, err := sim.NewEngineWith(g, sim.Options{Metrics: serialReg}).Run(&floodOnce{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := serialReg.Snapshot()
+	for _, name := range []string{obs.MetricRounds, obs.MetricMessages, obs.MetricBits} {
+		if snap.Counters[name] != want.Counters[name] {
+			t.Errorf("%s = %d, want %d (serial)", name, snap.Counters[name], want.Counters[name])
+		}
+	}
+}

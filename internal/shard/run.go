@@ -1,0 +1,448 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// phaseID selects which phase a shard goroutine executes next. The
+// coordinator broadcasts phases over each shard's unbuffered cmd channel
+// and waits for all completions, so phase boundaries are full barriers:
+// every shard finishes collecting before any validates globally, finishes
+// routing before any delivers, and finishes delivering before the round's
+// stats are merged.
+type phaseID int
+
+const (
+	phaseCollect phaseID = iota // reset outboxes, run Outbox callbacks, validate
+	phaseRoute                  // encode, account, apply faults, enqueue wires
+	phaseDeliver                // counting-sort inbound queues, run Inbox callbacks
+	phaseExit                   // terminate the shard goroutine
+)
+
+// loop is the body of one shard's goroutine for the duration of a Run.
+func (sh *shardRT) loop(e *Engine, done chan<- struct{}) {
+	for p := range sh.cmd {
+		switch p {
+		case phaseCollect:
+			sh.collect(e)
+		case phaseRoute:
+			sh.route(e)
+		case phaseDeliver:
+			sh.deliver(e)
+		case phaseExit:
+			return
+		}
+		done <- struct{}{}
+	}
+}
+
+// collect resets the shard's outboxes and runs the Outbox callback for
+// every local node, then (when Validate is on) records the shard's first
+// invalid send in local node order.
+func (sh *shardRT) collect(e *Engine) {
+	alg := e.curAlg
+	sh.valErr = nil
+	sh.active = 0
+	for v := sh.lo; v < sh.hi; v++ {
+		ob := &sh.outboxes[v-sh.lo]
+		ob.ResetFor(v, sh.neighbors(v))
+		alg.Outbox(v, ob)
+		if e.observing && ob.NumSends() > 0 {
+			sh.active++
+		}
+	}
+	if e.Validate {
+		for v := sh.lo; v < sh.hi; v++ {
+			if err := sh.outboxes[v-sh.lo].CheckSends(e.curRound, e.n); err != nil {
+				sh.valErr = err
+				return
+			}
+		}
+	}
+}
+
+// route encodes, accounts, and enqueues the shard's outgoing messages for
+// the round. Each distinct send entry is encoded exactly once (a broadcast
+// costs one EncodeBits regardless of degree) while accounting charges every
+// wire, and the fault hooks are consulted exactly once per wire — the same
+// contract as the serial router's countShard. Fault-free sends take the
+// fast paths (fastBroadcast/fastTargeted), which enqueue per-destination
+// blocks instead of per-wire entries; with fault hooks installed every wire
+// needs its own verdict, so faultWires walks receivers one by one and
+// emits explicit-target blocks.
+func (sh *shardRT) route(e *Engine) {
+	round := e.curRound
+	q := round & 1
+	for d := range sh.out[q] {
+		sh.out[q][d] = sh.out[q][d][:0]
+	}
+	sh.tgt[q] = sh.tgt[q][:0]
+	sh.messages, sh.totalBits, sh.roundMax = 0, 0, 0
+	sh.dropped, sh.corrupted, sh.roundBoundary = 0, 0, 0
+	sh.bwErr = nil
+	// Corruption flips bits of the real encoding, so a structured fault
+	// model forces encoding even when bit accounting is off.
+	needEncode := e.CountBits || e.Faults != nil
+	useFault := e.Fault != nil || e.Faults != nil
+	w := sh.w
+	for v := sh.lo; v < sh.hi; v++ {
+		ob := &sh.outboxes[v-sh.lo]
+		n := ob.NumSends()
+		for i := 0; i < n; i++ {
+			to, pl := ob.SendAt(i)
+			bits := 0
+			if needEncode {
+				w.Reset()
+				pl.EncodeBits(w)
+				bits = w.Len()
+			}
+			switch {
+			case useFault && to < 0:
+				sh.faultWires(e, round, q, v, ob.Neighbors(), pl, bits)
+			case useFault:
+				sh.oneTgt[0] = to
+				sh.faultWires(e, round, q, v, sh.oneTgt[:], pl, bits)
+			case to < 0:
+				sh.fastBroadcast(e, round, q, v, pl, bits)
+			default:
+				sh.fastTargeted(e, round, q, v, int(to), pl, bits)
+			}
+		}
+	}
+}
+
+// accountWire charges one wire against the shard's round accounting —
+// message count, bit totals, and the bandwidth assertion — mirroring the
+// serial router exactly.
+func (sh *shardRT) accountWire(e *Engine, round, v, u, bits int) {
+	sh.messages++
+	if e.CountBits {
+		sh.totalBits += int64(bits)
+		if bits > sh.roundMax {
+			sh.roundMax = bits
+		}
+		if e.Bandwidth > 0 && bits > e.Bandwidth && sh.bwErr == nil {
+			sh.bwErr = &sim.ErrBandwidth{Round: round, From: v, To: u, Bits: bits, Limit: e.Bandwidth}
+		}
+	}
+}
+
+// fastBroadcast routes one fault-free broadcast: the sorted neighbor list
+// splits into one contiguous run per destination shard, and each run
+// becomes a single blockAdj entry referencing the CSR in place — no
+// per-wire queue traffic at all. Accounting is batched per run; the
+// bandwidth check still reports the first wire of the first run, which is
+// the globally first violating wire of this send.
+func (sh *shardRT) fastBroadcast(e *Engine, round, q, v int, pl sim.Payload, bits int) {
+	base := sh.offs[v-sh.lo]
+	nbr := sh.adj[base:sh.offs[v-sh.lo+1]]
+	for i := 0; i < len(nbr); {
+		d := int(nbr[i]) / e.chunk
+		next := (d + 1) * e.chunk // first vertex of shard d+1
+		j := i + 1
+		for j < len(nbr) && int(nbr[j]) < next {
+			j++
+		}
+		cnt := j - i
+		sh.messages += int64(cnt)
+		if e.CountBits {
+			sh.totalBits += int64(bits) * int64(cnt)
+			if bits > sh.roundMax {
+				sh.roundMax = bits
+			}
+			if e.Bandwidth > 0 && bits > e.Bandwidth && sh.bwErr == nil {
+				sh.bwErr = &sim.ErrBandwidth{Round: round, From: v, To: int(nbr[i]), Bits: bits, Limit: e.Bandwidth}
+			}
+		}
+		if d != sh.id {
+			sh.roundBoundary += int64(cnt)
+		}
+		sh.out[q][d] = append(sh.out[q][d],
+			wireBlock{from: int32(v), kind: blockAdj, off: base + int32(i), n: int32(cnt), payload: pl})
+		i = j
+	}
+}
+
+// fastTargeted routes one fault-free SendTo wire as a single-target
+// blockBuf entry.
+func (sh *shardRT) fastTargeted(e *Engine, round, q, v, u int, pl sim.Payload, bits int) {
+	sh.accountWire(e, round, v, u, bits)
+	d := u / e.chunk
+	if d != sh.id {
+		sh.roundBoundary++
+	}
+	off := int32(len(sh.tgt[q]))
+	sh.tgt[q] = append(sh.tgt[q], int32(u))
+	sh.out[q][d] = append(sh.out[q][d],
+		wireBlock{from: int32(v), kind: blockBuf, off: off, n: 1, payload: pl})
+}
+
+// faultWires settles one send entry wire by wire when fault hooks are
+// installed: the hooks are consulted exactly once per wire, drops never
+// enqueue, and surviving receivers accumulate into per-destination runs in
+// the parity target buffer (a corruption interrupts the current run with
+// its own single-target block carrying the damaged payload). The shard's
+// writer still holds the send's encoding, which is what a corruption
+// snapshots.
+//
+// targets must be ascending (the neighbor-list invariant), which keeps each
+// run confined to one destination shard; block order follows wire order, so
+// per-receiver delivery order is unchanged.
+func (sh *shardRT) faultWires(e *Engine, round, q, v int, targets []int32, pl sim.Payload, bits int) {
+	runShard := -1
+	runStart := len(sh.tgt[q])
+	flush := func() {
+		if cnt := len(sh.tgt[q]) - runStart; cnt > 0 {
+			sh.out[q][runShard] = append(sh.out[q][runShard],
+				wireBlock{from: int32(v), kind: blockBuf, off: int32(runStart), n: int32(cnt), payload: pl})
+		}
+		runStart = len(sh.tgt[q])
+	}
+	for _, ut := range targets {
+		u := int(ut)
+		// The legacy hook wins first and its drops stay outside the
+		// ledger, exactly as in the serial engine.
+		if e.Fault != nil && e.Fault(round, v, u) {
+			continue
+		}
+		var corrupt sim.Payload
+		if e.Faults != nil {
+			switch outcome, salt := e.Faults.Wire(round, v, u); outcome {
+			case sim.FaultDrop:
+				sh.dropped++
+				continue
+			case sim.FaultCorrupt:
+				sh.corrupted++
+				corrupt = sim.CorruptBits(sh.w, salt)
+			}
+		}
+		sh.accountWire(e, round, v, u, bits)
+		d := u / e.chunk
+		if d != sh.id {
+			sh.roundBoundary++
+		}
+		if corrupt != nil {
+			flush()
+			sh.tgt[q] = append(sh.tgt[q], ut)
+			sh.out[q][d] = append(sh.out[q][d],
+				wireBlock{from: int32(v), kind: blockBuf, off: int32(runStart), n: 1, payload: corrupt})
+			runStart = len(sh.tgt[q])
+			runShard = d
+			continue
+		}
+		if d != runShard {
+			flush()
+			runShard = d
+		}
+		sh.tgt[q] = append(sh.tgt[q], ut)
+	}
+	flush()
+}
+
+// resolve returns a block's receiver list: a CSR subrange for blockAdj,
+// a parity-buffer subrange for blockBuf. Called by destination shards
+// strictly after the send barrier, when both backing arrays are frozen for
+// the round.
+func (sh *shardRT) resolve(q int, b wireBlock) []int32 {
+	if b.kind == blockAdj {
+		return sh.adj[b.off : b.off+b.n]
+	}
+	return sh.tgt[q][b.off : b.off+b.n]
+}
+
+// deliver counting-sorts the shard's inbound queues into its inbox arena
+// and runs the Inbox callback for every local node. Source shards are
+// drained in shard order and cover increasing sender ranges, with each
+// queue's blocks already in (sender, send-call) order and each block's
+// receivers distinct, so every inbox comes out sorted by sender id — the
+// serial engine's delivery contract. Both passes scatter only within the
+// shard's own counts/arena slices; block receiver lists are sequential
+// reads of the source shard's frozen CSR or target buffer.
+func (sh *shardRT) deliver(e *Engine) {
+	q := e.curRound & 1
+	lo := sh.lo
+	local := sh.hi - lo
+	counts := sh.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, src := range e.shards {
+		for _, b := range src.out[q][sh.id] {
+			for _, t := range src.resolve(q, b) {
+				counts[int(t)-lo]++
+			}
+		}
+	}
+	pos := int32(0)
+	for i := 0; i < local; i++ {
+		sh.start[i] = pos
+		sh.cursor[i] = pos
+		pos += counts[i]
+	}
+	sh.start[local] = pos
+	if cap(sh.arena) < int(pos) {
+		sh.arena = make([]sim.Received, pos)
+	} else {
+		sh.arena = sh.arena[:pos]
+	}
+	for _, src := range e.shards {
+		for _, b := range src.out[q][sh.id] {
+			from := int(b.from)
+			pl := b.payload
+			for _, t := range src.resolve(q, b) {
+				i := int(t) - lo
+				sh.arena[sh.cursor[i]] = sim.Received{From: from, Payload: pl}
+				sh.cursor[i]++
+			}
+		}
+	}
+	alg := e.curAlg
+	for v := lo; v < sh.hi; v++ {
+		alg.Inbox(v, sh.arena[sh.start[v-lo]:sh.start[v-lo+1]])
+	}
+}
+
+// observeRound mirrors the serial engine's per-round tracer/metrics report;
+// it runs on the coordinator after the deliver barrier, which is what makes
+// traces byte-identical across shard counts.
+func (e *Engine) observeRound(round, active int, delivered, roundBits int64, roundMax int, faults sim.RoundFaults) {
+	if tr := e.tracer; tr != nil {
+		tr.Round(obs.RoundInfo{
+			Round:        round,
+			Active:       active,
+			Messages:     delivered,
+			Bits:         roundBits,
+			MaxBits:      roundMax,
+			Dropped:      faults.Dropped,
+			Corrupted:    faults.Corrupted,
+			DecodeFaults: faults.DecodeFaults,
+		})
+	}
+	if reg := e.metrics; reg != nil {
+		reg.Counter(obs.MetricRounds).Add(1)
+		reg.Counter(obs.MetricMessages).Add(delivered)
+		reg.Counter(obs.MetricBits).Add(roundBits)
+		reg.Gauge(obs.MetricMaxMessageBits).SetMax(int64(roundMax))
+		reg.Histogram(obs.MetricRoundMaxBits, obs.RoundMaxBitsBuckets).Observe(float64(roundMax))
+		if faults.Dropped != 0 {
+			reg.Counter(obs.MetricDropped).Add(faults.Dropped)
+		}
+		if faults.Corrupted != 0 {
+			reg.Counter(obs.MetricCorrupted).Add(faults.Corrupted)
+		}
+		if faults.DecodeFaults != 0 {
+			reg.Counter(obs.MetricDecodeFaults).Add(faults.DecodeFaults)
+		}
+	}
+}
+
+// Run executes alg until Done or maxRounds, returning execution statistics
+// (sim.Runner). The round structure, early-return cases, and every Stats
+// field reproduce sim.Engine.Run bit-for-bit: shard accounting merges with
+// sums and maxes only, bandwidth and validation errors surface the globally
+// first violating wire (shards cover increasing sender ranges), and the
+// decode-fault counter drains exactly once per round after delivery.
+func (e *Engine) Run(alg sim.Algorithm, maxRounds int) (sim.Stats, error) {
+	var stats sim.Stats
+	e.curAlg = alg
+	e.observing = e.tracer != nil || e.metrics != nil
+	ledger := e.Faults != nil
+	if ledger || e.observing {
+		e.decodeFaults.Store(0)
+	}
+	done := make(chan struct{}, len(e.shards))
+	for _, sh := range e.shards {
+		go sh.loop(e, done)
+	}
+	// cmd channels are unbuffered, so these sends complete only once every
+	// goroutine has received its exit — a later Run can safely relaunch.
+	defer func() {
+		for _, sh := range e.shards {
+			sh.cmd <- phaseExit
+		}
+	}()
+	phase := func(p phaseID) {
+		for _, sh := range e.shards {
+			sh.cmd <- p
+		}
+		for range e.shards {
+			<-done
+		}
+	}
+	quiescent, canQuiesce := alg.(sim.Quiescent)
+	var runBoundary int64
+	for round := 0; round < maxRounds; round++ {
+		if alg.Done() {
+			return stats, nil
+		}
+		e.curRound = round
+		phase(phaseCollect)
+		if e.Validate {
+			for _, sh := range e.shards {
+				if sh.valErr != nil {
+					return stats, sh.valErr
+				}
+			}
+		}
+		bitsBefore := stats.TotalBits
+		phase(phaseRoute)
+		// Merge shard accounting. Sums and maxes only: order-independent.
+		var delivered int64
+		var roundMax int
+		var faults sim.RoundFaults
+		var bwErr error
+		for _, sh := range e.shards {
+			delivered += sh.messages
+			stats.Messages += sh.messages
+			stats.TotalBits += sh.totalBits
+			faults.Dropped += sh.dropped
+			faults.Corrupted += sh.corrupted
+			runBoundary += sh.roundBoundary
+			if sh.roundMax > roundMax {
+				roundMax = sh.roundMax
+			}
+			// Shards cover increasing sender ranges, so the first shard
+			// with a violation holds the globally first violating wire.
+			if sh.bwErr != nil && bwErr == nil {
+				bwErr = sh.bwErr
+			}
+		}
+		if roundMax > stats.MaxMessageBits {
+			stats.MaxMessageBits = roundMax
+		}
+		if e.metrics != nil {
+			e.metrics.Gauge(obs.MetricShardBoundaryMsgs).Set(runBoundary)
+		}
+		if bwErr != nil {
+			return stats, bwErr
+		}
+		stats.RoundMaxBits = append(stats.RoundMaxBits, roundMax)
+		phase(phaseDeliver)
+		if ledger || e.observing {
+			// Decode faults reported by the Inbox callbacks complete this
+			// round's accounting; the swap must happen exactly once.
+			faults.DecodeFaults = e.decodeFaults.Swap(0)
+			if ledger {
+				stats.Faults = append(stats.Faults, faults)
+			}
+			if e.observing {
+				active := 0
+				for _, sh := range e.shards {
+					active += sh.active
+				}
+				e.observeRound(round, active, delivered, stats.TotalBits-bitsBefore, roundMax, faults)
+			}
+		}
+		stats.Rounds++
+		if delivered == 0 && canQuiesce && quiescent.Quiesced() {
+			return stats, nil
+		}
+	}
+	if !alg.Done() {
+		return stats, fmt.Errorf("sim: algorithm did not terminate within %d rounds", maxRounds)
+	}
+	return stats, nil
+}

@@ -221,7 +221,7 @@ func (sh *shardState) decide(e *Engine, round, from, to int, w *bitio.Writer) Fa
 		sh.acts = append(sh.acts, wireAct{kind: FaultDrop})
 	case FaultCorrupt:
 		sh.corrupted++
-		sh.acts = append(sh.acts, wireAct{kind: FaultCorrupt, payload: corruptBits(w, salt)})
+		sh.acts = append(sh.acts, wireAct{kind: FaultCorrupt, payload: CorruptBits(w, salt)})
 	default:
 		outcome = FaultNone
 		sh.acts = append(sh.acts, wireAct{})
@@ -229,10 +229,11 @@ func (sh *shardState) decide(e *Engine, round, from, to int, w *bitio.Writer) Fa
 	return outcome
 }
 
-// corruptBits copies the writer's current encoding and flips the bit
+// CorruptBits copies the writer's current encoding and flips the bit
 // selected by salt. Zero-length messages stay empty (nothing to flip); the
-// receiver still sees a CorruptPayload.
-func corruptBits(w *bitio.Writer, salt uint64) CorruptPayload {
+// receiver still sees a CorruptPayload. Exported so external routing
+// engines (internal/shard) corrupt wires exactly the way this router does.
+func CorruptBits(w *bitio.Writer, salt uint64) CorruptPayload {
 	nbit := w.Len()
 	bits := append([]byte(nil), w.Bytes()...)
 	if nbit > 0 {
@@ -347,31 +348,13 @@ func (e *Engine) observeRound(round int, outboxes []Outbox, delivered, roundBits
 
 // validateSends checks every targeted send against the graph's adjacency.
 // It runs only when Engine.Validate is set, after the Outbox phase, so the
-// SendTo fast path stays branch-free.
+// SendTo fast path stays branch-free. The per-outbox check is
+// Outbox.CheckSends, shared with the sharded engine.
 func (e *Engine) validateSends(round int, outboxes []Outbox) error {
 	n := len(outboxes)
 	for v := range outboxes {
-		ob := &outboxes[v]
-		for _, sd := range ob.sends {
-			if sd.to == broadcastTo {
-				continue
-			}
-			if sd.to < 0 || int(sd.to) >= n {
-				return fmt.Errorf("sim: round %d: node %d sent to out-of-range node %d", round, v, sd.to)
-			}
-			// Neighbor lists are sorted (graph invariant): binary search.
-			lo, hi := 0, len(ob.neighbors)
-			for lo < hi {
-				mid := (lo + hi) / 2
-				if ob.neighbors[mid] < sd.to {
-					lo = mid + 1
-				} else {
-					hi = mid
-				}
-			}
-			if lo >= len(ob.neighbors) || ob.neighbors[lo] != sd.to {
-				return fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, v, sd.to)
-			}
+		if err := outboxes[v].CheckSends(round, n); err != nil {
+			return err
 		}
 	}
 	return nil

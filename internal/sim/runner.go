@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// Runner is the execution substrate an algorithm runs on: the serial
+// *Engine or the sharded engine (internal/shard). Algorithm layers that
+// accept a Runner instead of *Engine work unchanged on both, which is how
+// the same baseline solvers drive materialized graphs and shard-ingested
+// streams.
+type Runner interface {
+	// Run executes alg until Done or maxRounds (see Engine.Run for the
+	// exact round semantics both implementations share).
+	Run(alg Algorithm, maxRounds int) (Stats, error)
+	// ReportDecodeFault records one detected decode failure in the current
+	// round's fault ledger; safe from concurrent Inbox callbacks.
+	ReportDecodeFault()
+}
+
+var _ Runner = (*Engine)(nil)
+
+// The accessors below expose just enough of Outbox for an external routing
+// engine to drive the same collection type algorithms already write into.
+// They are read-only except ResetFor; the send fast paths stay untouched.
+
+// ResetFor prepares the outbox to collect node v's sends for a round,
+// reusing the send buffer. neighbors must be v's sorted neighbor list;
+// Broadcast fan-out and CheckSends both resolve against it.
+func (o *Outbox) ResetFor(v int, neighbors []int32) {
+	o.node = v
+	o.neighbors = neighbors
+	o.sends = o.sends[:0]
+}
+
+// NumSends returns the number of send entries collected this round. A
+// broadcast is one entry regardless of degree.
+func (o *Outbox) NumSends() int { return len(o.sends) }
+
+// SendAt returns send entry i: the receiver id and the payload. A negative
+// receiver marks a broadcast to every neighbor (see Broadcast); entries are
+// in send-call order, which routers must preserve per receiver.
+func (o *Outbox) SendAt(i int) (to int32, p Payload) {
+	sd := o.sends[i]
+	return sd.to, sd.payload
+}
+
+// Neighbors returns the sorted neighbor list the outbox was prepared with;
+// callers must not modify it.
+func (o *Outbox) Neighbors() []int32 { return o.neighbors }
+
+// CheckSends validates every targeted send against the prepared neighbor
+// list, returning a descriptive error for an out-of-range or non-adjacent
+// target. n is the vertex count of the network; round only labels the
+// error. Both engines call it when their Validate option is set.
+func (o *Outbox) CheckSends(round, n int) error {
+	for _, sd := range o.sends {
+		if sd.to == broadcastTo {
+			continue
+		}
+		if sd.to < 0 || int(sd.to) >= n {
+			return fmt.Errorf("sim: round %d: node %d sent to out-of-range node %d", round, o.node, sd.to)
+		}
+		// Neighbor lists are sorted (graph invariant): binary search.
+		lo, hi := 0, len(o.neighbors)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if o.neighbors[mid] < sd.to {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(o.neighbors) || o.neighbors[lo] != sd.to {
+			return fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, o.node, sd.to)
+		}
+	}
+	return nil
+}
