@@ -37,6 +37,7 @@ func run() int {
 	algbench := flag.String("algbench", "", "run the OLDC algorithm benchmark suite and write machine-readable JSON to this path ('-' for stdout), then exit")
 	chaosbench := flag.String("chaosbench", "", "run detect-and-repair solving under every built-in fault schedule and write machine-readable JSON to this path ('-' for stdout), then exit")
 	servebench := flag.String("servebench", "", "run the incremental recoloring service under sustained churn and write machine-readable JSON to this path ('-' for stdout), then exit")
+	recoverybench := flag.String("recoverybench", "", "run the crash-recovery suite (supervised kill/resume + durable-store WAL replay) and write machine-readable JSON to this path ('-' for stdout), then exit")
 	shardbench := flag.String("shardbench", "", "run the sharded-engine scaling curve and the large streamed power-law solve, write machine-readable JSON to this path ('-' for stdout), then exit")
 	shardSolveOut := flag.String("shardsolve-out", "", "with -shardbench: also write the big run's instance+coloring as an ldc-verify document to this path")
 	tracePath := flag.String("trace", "", "run the canonical traced Δ=64 solve, write its ldc-trace/v1 JSONL to this path ('-' for stdout), verify reconciliation, then exit")
@@ -114,6 +115,18 @@ func run() int {
 		}
 		if err := rep.WriteJSON(*servebench); err != nil {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *recoverybench != "" {
+		rep, err := bench.RunRecoverBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recoverybench: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(*recoverybench); err != nil {
+			fmt.Fprintf(os.Stderr, "recoverybench: %v\n", err)
 			return 1
 		}
 		return 0

@@ -11,6 +11,7 @@
 //	ldc-run -graph file:web.edges -algo degluby  # edge-list file on disk
 //	ldc-run -graph pa -n 100000 -deg 3 -algo luby -shards 8
 //	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
+//	ldc-run -algo degluby -chaos kill:3+kill:9 -ckpt run.ckpt  # killed twice, resumed twice
 //	ldc-run -algo oldc -trace run.jsonl          # then: ldc-trace run.jsonl
 //	ldc-run -algo delta1 -cpuprofile cpu.out
 //
@@ -67,7 +68,8 @@ type output struct {
 	SeedUsed    int64    `json:"seed"`
 	KappaUsed   float64  `json:"kappa,omitempty"`
 
-	// Chaos-mode fields (-chaos / -repair).
+	// Chaos-mode fields (-chaos / -repair / -ckpt).
+	Restarts     int      `json:"restarts,omitempty"`
 	ChaosSpec    string   `json:"chaos,omitempty"`
 	Dropped      int64    `json:"dropped,omitempty"`
 	Corrupted    int64    `json:"corrupted,omitempty"`
@@ -124,9 +126,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		algo   = fs.String("algo", "delta1", "delta1|linear|slow|luby|degluby|greedy|mis|mis-luby|oldc")
 		shards = fs.Int("shards", 1, "route rounds through this many contiguous shards (luby and degluby only)")
 		kappa  = fs.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
-		spec   = fs.String("chaos", "", "fault schedule for -algo oldc: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2")
+		spec   = fs.String("chaos", "", "fault schedule: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2; wire faults need -algo oldc, kill:/killshard: terms need -algo degluby with -ckpt")
 		repair = fs.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
 		asJSON = fs.Bool("json", false, "emit the full result as JSON")
+
+		ckptPath    = fs.String("ckpt", "", "checkpoint file for -algo degluby: written at round boundaries, resumed from when it already exists")
+		ckptEvery   = fs.Int("ckpt-every", 1, "checkpoint cadence in rounds for -ckpt")
+		maxRestarts = fs.Int("max-restarts", 5, "restarts allowed after injected kills (-chaos kill:/killshard:) before giving up")
 
 		tracePath   = fs.String("trace", "", "write an ldc-trace/v1 JSONL round trace to this path ('-' = stdout); summarize with ldc-trace")
 		metricsAddr = fs.String("metrics-addr", "", "after a successful run, serve Prometheus-style text metrics on this address at /metrics (keeps the process alive)")
@@ -164,6 +170,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	var tracer *obs.JSONL
+	var traceFile *os.File
 	if *tracePath != "" {
 		switch *algo {
 		case "mis", "greedy":
@@ -175,6 +182,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			die(err)
 			defer f.Close()
 			w = f
+			traceFile = f
 		}
 		tracer = obs.NewJSONL(w)
 		defer tracer.Close()
@@ -184,8 +192,27 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	out := output{Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Algorithm: *algo, SeedUsed: *seed}
 	obs.EmitStart(tracerOrNil(tracer), obs.RunInfo{Algo: *algo, Graph: *gname, N: g.N(), M: g.M(), MaxDegree: g.MaxDegree(), Seed: *seed})
 
-	if (*spec != "" || *repair) && *algo != "oldc" {
-		fatalf(2, "-chaos and -repair only apply to -algo oldc (the other algorithms have no hardened decode paths)")
+	var plan *chaos.Plan
+	if *spec != "" {
+		var err error
+		plan, err = resolvePlan(*spec, uint64(*seed), g)
+		die(err)
+	}
+	switch {
+	case *repair && *algo != "oldc":
+		fatalf(2, "-repair only applies to -algo oldc")
+	case *spec != "" && *algo != "oldc" && *algo != "degluby":
+		fatalf(2, "-chaos applies to -algo oldc (wire faults) or -algo degluby (kill schedules); the other algorithms have no hardened decode paths")
+	case plan != nil && len(plan.Kills) > 0 && *algo != "degluby":
+		fatalf(2, "kill:/killshard: terms need a resumable algorithm: use -algo degluby with -ckpt")
+	case plan != nil && len(plan.Kills) > 0 && *ckptPath == "":
+		fatalf(2, "kill:/killshard: terms need -ckpt so restarted attempts can resume from a checkpoint")
+	case plan != nil && len(plan.Kills) > 0 && *tracePath == "-":
+		fatalf(2, "kill schedules need -trace to name a real file (not '-') so replayed rounds can be truncated on resume")
+	case plan != nil && plan.Corrupting && *algo == "degluby":
+		fatalf(2, "flip terms are not supported for -algo degluby (its decoder is not hardened against corrupted payloads)")
+	case *ckptPath != "" && *algo != "degluby":
+		fatalf(2, "-ckpt only applies to -algo degluby (the only ldc-run algorithm that snapshots its state)")
 	}
 	if *shards > 1 && *algo != "luby" && *algo != "degluby" {
 		fatalf(2, "-shards only applies to -algo luby or degluby (the other algorithms are written against the serial engine)")
@@ -224,11 +251,43 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		traceStats = stats
 		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
 	case "degluby":
-		phi, stats, err := baseline.DegreeLuby(runnerFor(g, *shards, engineOpts), g, *seed)
-		die(err)
-		fill(&out, stats, phi)
-		traceStats = stats
-		out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+		simOpts := engineOpts
+		if plan != nil {
+			simOpts.Faults = plan.Model
+			out.ChaosSpec = *spec
+		}
+		if *ckptPath != "" {
+			phi, stats, restarts, err := superviseDegluby(superviseConfig{
+				g:           g,
+				seed:        *seed,
+				newRunner:   func() sim.Resumable { return runnerFor(g, *shards, simOpts) },
+				plan:        plan,
+				path:        *ckptPath,
+				every:       *ckptEvery,
+				maxRestarts: *maxRestarts,
+				traceFile:   traceFile,
+				tracer:      tracer,
+				reg:         reg,
+				stderr:      stderr,
+			})
+			die(err)
+			fill(&out, stats, phi)
+			traceStats = stats
+			out.Restarts = restarts
+			out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+		} else {
+			phi, stats, err := baseline.DegreeLuby(runnerFor(g, *shards, simOpts), g, *seed)
+			die(err)
+			fill(&out, stats, phi)
+			traceStats = stats
+			out.Valid = coloring.CheckProper(g, phi, g.MaxDegree()+1) == nil
+		}
+		if plan != nil {
+			total := traceStats.TotalFaults()
+			out.Dropped = total.Dropped
+			out.Corrupted = total.Corrupted
+			out.DecodeFaults = total.DecodeFaults
+		}
 	case "greedy":
 		in := coloring.DegreePlusOne(g, 2*g.MaxDegree()+2, *seed)
 		phi, err := seq.Greedy(in)
@@ -270,10 +329,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		inst := coloring.SquareSumOrientedRange(o, 4096, *kappa, 1, 3, *seed)
 		in := oldc.Input{O: o, SpaceSize: 4096, Lists: inst.Lists, InitColors: init, M: m}
 		simOpts := engineOpts
-		if *spec != "" {
-			model, err := resolveChaos(*spec, uint64(*seed), g)
-			die(err)
-			simOpts.Faults = model
+		if plan != nil {
+			simOpts.Faults = plan.Model
 			out.ChaosSpec = *spec
 		}
 		eng := sim.NewEngineWith(g, simOpts)
@@ -340,6 +397,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintf(stdout, "chaos=%s dropped=%d corrupted=%d decode-faults=%d\n",
 				out.ChaosSpec, out.Dropped, out.Corrupted, out.DecodeFaults)
 		}
+		if out.Restarts > 0 {
+			fmt.Fprintf(stdout, "restarts: %d\n", out.Restarts)
+		}
 		if out.SurvivalRate != nil {
 			fmt.Fprintf(stdout, "survival=%.3f initial-bad=%d repairs=%d repair-rounds=%d fallback=%d residual=%d\n",
 				*out.SurvivalRate, out.InitialBad, out.Repairs, out.RepairRounds, out.Fallback, len(out.ResidualBad))
@@ -379,8 +439,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // serial sim.Engine by default, the sharded engine when -shards asks for
 // it. Both carry the same tracer/metrics observers, and the sharded
 // engine's output is bit-identical to the serial one, so the choice only
-// affects routing locality.
-func runnerFor(g *graph.Graph, shards int, opts sim.Options) sim.Runner {
+// affects routing locality. Both are sim.Resumable, which is what lets
+// the -ckpt supervisor resume either from a round-boundary checkpoint.
+func runnerFor(g *graph.Graph, shards int, opts sim.Options) sim.Resumable {
 	if shards <= 1 {
 		return sim.NewEngineWith(g, opts)
 	}
@@ -388,6 +449,7 @@ func runnerFor(g *graph.Graph, shards int, opts sim.Options) sim.Runner {
 		Shards:  shards,
 		Tracer:  opts.Tracer,
 		Metrics: opts.Metrics,
+		Faults:  opts.Faults,
 	})
 }
 
@@ -401,15 +463,22 @@ func tracerOrNil(tr *obs.JSONL) obs.Tracer {
 	return tr
 }
 
-// resolveChaos interprets spec as a built-in schedule name first and a
-// chaos.Parse expression otherwise.
-func resolveChaos(spec string, seed uint64, g *graph.Graph) (sim.FaultModel, error) {
+// resolvePlan interprets spec as a built-in wire schedule name first, a
+// built-in recovery plan name second, and a chaos.ParsePlan expression
+// otherwise, so every schedule ldc-bench knows by name is also reachable
+// from the CLI.
+func resolvePlan(spec string, seed uint64, g *graph.Graph) (*chaos.Plan, error) {
 	for _, sched := range chaos.Builtin(g, seed) {
 		if sched.Name == spec {
-			return sched.Model, nil
+			return &chaos.Plan{Model: sched.Model, Corrupting: sched.Corrupting}, nil
 		}
 	}
-	return chaos.Parse(spec, seed, g)
+	for _, np := range chaos.BuiltinRecovery(g, seed) {
+		if np.Name == spec {
+			return np.Plan, nil
+		}
+	}
+	return chaos.ParsePlan(spec, seed, g)
 }
 
 func buildGraph(name string, n, deg int, p float64, rows, cols, dim int, radius float64, seed int64) *graph.Graph {

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestMaxBatchLimit pins the -max-batch contract on /batch: a batch with
+// more mutations than the limit is refused with a JSON 413 before it
+// touches the engine, as is a request body past the derived byte bound.
+func TestMaxBatchLimit(t *testing.T) {
+	s, err := serve.New(graph.Ring(32), serve.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(&service{srv: s, maxBatch: 2}, obs.NewRegistry()))
+	defer srv.Close()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := post(`[{"op":"add_node"},{"op":"add_node"}]`); code != 200 {
+		t.Fatalf("at-limit batch: status %d, want 200", code)
+	}
+	code, body := post(`[{"op":"add_node"},{"op":"add_node"},{"op":"add_node"}]`)
+	if code != http.StatusRequestEntityTooLarge || !strings.Contains(body, "exceeds -max-batch 2") {
+		t.Fatalf("over-limit batch: status %d body %q", code, body)
+	}
+	// A body past the byte bound (2*64+4096) trips MaxBytesReader with the
+	// same status.
+	code, body = post("[" + strings.Repeat(" ", 5000) + `{"op":"add_node"}]`)
+	if code != http.StatusRequestEntityTooLarge || !strings.Contains(body, "request body exceeds") {
+		t.Fatalf("oversized body: status %d body %q", code, body)
+	}
+	if s.N() != 34 {
+		t.Fatalf("rejected batches leaked into the engine: n=%d", s.N())
+	}
+}
+
+// scriptLines turns mutation batches into a -script payload.
+func scriptLines(batches ...string) string { return strings.Join(batches, "\n") + "\n" }
+
+// TestDurableRestartViaCLI drives crash-safe restarts end to end through
+// run(): a first invocation applies batches into -data, a second one
+// restores the store and continues with batch numbers and colorings that
+// match one uninterrupted ephemeral run of the same script.
+func TestDurableRestartViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-graph", "ring", "-n", "64", "-seed", "9", "-script", "-", "-data", dir, "-snapshot-every", "2"}
+	first := scriptLines(
+		`[{"op":"add_edge","u":0,"v":9}]`,
+		`[{"op":"add_node"},{"op":"add_edge","u":64,"v":3}]`,
+		`[{"op":"remove_edge","u":0,"v":9}]`,
+	)
+	second := scriptLines(`[{"op":"add_edge","u":5,"v":40}]`)
+
+	var out1 strings.Builder
+	restore := stdinFrom(t, first)
+	if code := run(args, &out1, io.Discard); code != 0 {
+		restore()
+		t.Fatalf("first run exit %d", code)
+	}
+	restore()
+
+	var out2 strings.Builder
+	restore = stdinFrom(t, second)
+	if code := run(args, &out2, io.Discard); code != 0 {
+		restore()
+		t.Fatalf("second run exit %d", code)
+	}
+	restore()
+	var rep serve.BatchReport
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out2.String())), &rep); err != nil {
+		t.Fatalf("decode resumed report: %v\n%s", err, out2.String())
+	}
+	if rep.Batch != 4 {
+		t.Fatalf("resumed batch number %d, want 4 (store restored)", rep.Batch)
+	}
+
+	// The resumed history must land on the same coloring an uninterrupted
+	// run produces.
+	ref, err := serve.New(graph.Ring(64), serve.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(first+second), "\n") {
+		var batch []serve.Mutation
+		if err := json.Unmarshal([]byte(line), &batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := serve.OpenDurable(nil, serve.Config{Seed: 9}, dir, serve.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, want := d.Server().Snapshot(), ref.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("restored n=%d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("node %d colored %d after restart chain, %d uninterrupted", v, got[v], want[v])
+		}
+	}
+}
+
+// TestDegradedHTTP pins degraded read-only mode at the HTTP layer:
+// mid-WAL corruption leaves reads serving the intact prefix while
+// /healthz and /batch answer 503.
+func TestDegradedHTTP(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Seed: 4}
+	d, err := serve.OpenDurable(graph.Ring(32), cfg, dir, serve.DurableOptions{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply([]serve.Mutation{{Op: serve.OpAddNode}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply([]serve.Mutation{{Op: serve.OpAddNode}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload: interior damage, not
+	// a torn tail, so the reopened store degrades.
+	wal := filepath.Join(dir, "wal-000000.log")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(serve.WALMagic)+8] ^= 0x01
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = serve.OpenDurable(nil, cfg, dir, serve.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Degraded() == nil {
+		t.Fatal("store did not degrade on interior WAL damage")
+	}
+	srv := httptest.NewServer(newMux(&service{srv: d.Server(), dur: d, maxBatch: 10}, obs.NewRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/batch", "application/json", strings.NewReader(`[{"op":"add_node"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "corrupt WAL") {
+		t.Fatalf("degraded /batch status %d body %q, want 503", resp.StatusCode, body)
+	}
+	resp, err = http.Get(srv.URL + "/color?v=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read status %d, want 200", resp.StatusCode)
+	}
+}

@@ -16,27 +16,61 @@
 //	POST /batch       →  BatchReport (body: [{"op":"add_edge","u":1,"v":2}, ...])
 //	GET  /coloring    →  {"n":256,"batches":4,"coloring":[...]}
 //	GET  /metrics     →  Prometheus text (the ldc_serve_* catalog)
-//	GET  /healthz     →  ok
+//	GET  /healthz     →  ok (503 when the durable store is degraded)
 //
-// Exit status 0 = clean run, 1 = runtime failure (initial solve or a
-// script batch), 2 = usage error. The API and determinism contract are
-// documented in docs/SERVICE.md.
+// With -data DIR the server keeps a crash-safe WAL+snapshot store in DIR
+// (serve.OpenDurable): every applied batch is logged before it executes,
+// the WAL is periodically compacted into a snapshot, and a restart with
+// the same -data restores the exact pre-crash state. Interior store
+// corruption puts the server into degraded read-only mode: reads keep
+// working, /batch answers 503. Formats and the recovery procedure are
+// documented in docs/RECOVERY.md.
+//
+// Exit status 0 = clean run, 1 = runtime failure (initial solve, store
+// open, or a script batch), 2 = usage error. The API and determinism
+// contract are documented in docs/SERVICE.md.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// service bundles the engine with its optional durability layer so the
+// HTTP mux and script runner drive either mode through one seam: apply
+// routes mutations through the WAL when -data is set, and degraded
+// reports the store's read-only state (always nil for ephemeral servers).
+type service struct {
+	srv      *serve.Server
+	dur      *serve.Durable // nil without -data
+	maxBatch int            // -max-batch: mutations accepted per /batch request
+}
+
+func (svc *service) apply(batch []serve.Mutation) (serve.BatchReport, error) {
+	if svc.dur != nil {
+		return svc.dur.Apply(batch)
+	}
+	return svc.srv.Apply(batch)
+}
+
+func (svc *service) degraded() error {
+	if svc.dur != nil {
+		return svc.dur.Degraded()
+	}
+	return nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -60,6 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		addr   = fs.String("addr", "", "serve the HTTP API on this address")
 		script = fs.String("script", "", "apply one JSON mutation batch per line from this file ('-' = stdin), then exit unless -addr is set")
+
+		dataDir   = fs.String("data", "", "durable mode: keep a WAL+snapshot store in this directory and restore from it on restart")
+		snapEvery = fs.Int("snapshot-every", 64, "durable mode: compact the WAL into a snapshot every this many batches")
+		walSync   = fs.Int("wal-sync", 1, "durable mode: fsync the WAL every this many batches (1 = every batch)")
+
+		maxBatch     = fs.Int("max-batch", 4096, "reject /batch requests with more than this many mutations (HTTP 413)")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,16 +116,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
 		return 2
 	}
+	if *maxBatch < 1 {
+		fmt.Fprintln(stderr, "ldc-serve: -max-batch must be at least 1")
+		return 2
+	}
 	reg := obs.NewRegistry()
-	s, err := serve.New(g, serve.Config{
+	cfg := serve.Config{
 		Kappa: *kappa, SpaceSize: *space, Seed: *seed,
 		VerifyEveryBatch: *verify, Metrics: reg,
-	})
-	if err != nil {
-		fmt.Fprintf(stderr, "ldc-serve: initial solve: %v\n", err)
-		return 1
 	}
-	fmt.Fprintf(stderr, "ldc-serve: graph=%s n=%d m=%d Δ=%d colored\n", *gname, g.N(), g.M(), g.MaxDegree())
+	svc := &service{maxBatch: *maxBatch}
+	if *dataDir != "" {
+		// The graph flags only matter on the store's first boot; a reopen
+		// restores the graph from the snapshot and replays the WAL.
+		d, err := serve.OpenDurable(g, cfg, *dataDir, serve.DurableOptions{
+			SnapshotEvery: *snapEvery, SyncEvery: *walSync,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: open durable store: %v\n", err)
+			return 1
+		}
+		defer d.Close()
+		svc.srv, svc.dur = d.Server(), d
+		fmt.Fprintf(stderr, "ldc-serve: durable store %s generation=%d n=%d batches=%d\n",
+			*dataDir, d.Generation(), d.Server().N(), d.Server().Batches())
+		if derr := d.Degraded(); derr != nil {
+			fmt.Fprintf(stderr, "ldc-serve: store DEGRADED, serving reads only: %v\n", derr)
+		}
+	} else {
+		s, err := serve.New(g, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "ldc-serve: initial solve: %v\n", err)
+			return 1
+		}
+		svc.srv = s
+		fmt.Fprintf(stderr, "ldc-serve: graph=%s n=%d m=%d Δ=%d colored\n", *gname, g.N(), g.M(), g.MaxDegree())
+	}
 
 	if *script != "" {
 		r := os.Stdin
@@ -96,14 +164,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer f.Close()
 			r = f
 		}
-		if code := runScript(s, r, stdout, stderr); code != 0 {
+		if code := runScript(svc, r, stdout, stderr); code != 0 {
 			return code
 		}
 	}
 
 	if *addr != "" {
 		fmt.Fprintf(stderr, "ldc-serve: listening on %s\n", *addr)
-		if err := http.ListenAndServe(*addr, newMux(s, reg)); err != nil {
+		hs := &http.Server{
+			Addr:         *addr,
+			Handler:      newMux(svc, reg),
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+		}
+		if err := hs.ListenAndServe(); err != nil {
 			fmt.Fprintf(stderr, "ldc-serve: %v\n", err)
 			return 1
 		}
@@ -112,8 +186,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runScript applies one JSON batch per line, emitting one BatchReport per
-// line. The first malformed line or failed batch stops the run.
-func runScript(s *serve.Server, r io.Reader, stdout, stderr io.Writer) int {
+// line. The first malformed line or failed batch stops the run. In
+// durable mode every batch goes through the WAL, so a crash mid-script
+// resumes exactly after the last applied line.
+func runScript(svc *service, r io.Reader, stdout, stderr io.Writer) int {
 	enc := json.NewEncoder(stdout)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -129,7 +205,7 @@ func runScript(s *serve.Server, r io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ldc-serve: script line %d: %v\n", line, err)
 			return 2
 		}
-		rep, err := s.Apply(batch)
+		rep, err := svc.apply(batch)
 		if err != nil {
 			fmt.Fprintf(stderr, "ldc-serve: script line %d: %v\n", line, err)
 			return 1
@@ -146,11 +222,18 @@ func runScript(s *serve.Server, r io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// newMux wires the HTTP API onto the engine. Factored out of run so the
-// e2e test can mount it on an httptest server.
-func newMux(s *serve.Server, reg *obs.Registry) *http.ServeMux {
+// newMux wires the HTTP API onto the service. Factored out of run so the
+// e2e tests can mount it on an httptest server. Reads always work;
+// mutations are bounded by -max-batch (413 past it) and refused with 503
+// while the durable store is degraded.
+func newMux(svc *service, reg *obs.Registry) *http.ServeMux {
+	s := svc.srv
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if err := svc.degraded(); err != nil {
+			http.Error(w, fmt.Sprintf("degraded: %v", err), http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -182,23 +265,50 @@ func newMux(s *serve.Server, reg *obs.Registry) *http.ServeMux {
 			http.Error(w, "POST a JSON mutation batch", http.StatusMethodNotAllowed)
 			return
 		}
+		if err := svc.degraded(); err != nil {
+			writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+			return
+		}
+		// Bound the body before decoding: ~64 bytes covers any single
+		// mutation's JSON with generous whitespace slack.
+		r.Body = http.MaxBytesReader(w, r.Body, int64(svc.maxBatch)*64+4096)
 		var batch []serve.Mutation
 		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+					map[string]any{"error": fmt.Sprintf("request body exceeds %d bytes (-max-batch %d)", tooBig.Limit, svc.maxBatch)})
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		rep, err := s.Apply(batch)
+		if len(batch) > svc.maxBatch {
+			writeJSONStatus(w, http.StatusRequestEntityTooLarge,
+				map[string]any{"error": fmt.Sprintf("batch of %d mutations exceeds -max-batch %d", len(batch), svc.maxBatch)})
+			return
+		}
+		rep, err := svc.apply(batch)
 		if err != nil {
+			if errors.Is(err, serve.ErrDegraded) {
+				writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+				return
+			}
 			// The report is still returned: earlier mutations of the batch
 			// were applied and repaired (each mutation is atomic).
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusUnprocessableEntity)
-			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "report": rep})
+			writeJSONStatus(w, http.StatusUnprocessableEntity, map[string]any{"error": err.Error(), "report": rep})
 			return
 		}
 		writeJSON(w, rep)
 	})
 	return mux
+}
+
+// writeJSONStatus writes v as JSON under a non-200 status.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

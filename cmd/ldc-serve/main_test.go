@@ -79,7 +79,7 @@ func TestScriptModeEmitsReports(t *testing.T) {
 	}
 	var out bytes.Buffer
 	script := `[{"op":"add_edge","u":0,"v":9}]` + "\n\n" + `[{"op":"add_node"}]` + "\n"
-	if code := runScript(s, strings.NewReader(script), &out, io.Discard); code != 0 {
+	if code := runScript(&service{srv: s, maxBatch: 4096}, strings.NewReader(script), &out, io.Discard); code != 0 {
 		t.Fatalf("runScript = %d", code)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -107,7 +107,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(s, reg))
+	srv := httptest.NewServer(newMux(&service{srv: s, maxBatch: 4096}, reg))
 	defer srv.Close()
 
 	get := func(path string, want int) string {

@@ -1,8 +1,9 @@
 package baseline
 
 import (
-	"math/rand"
+	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -23,27 +24,38 @@ import (
 // (topology, seed): the coloring is identical for every shard and worker
 // count.
 func DegreeLuby(r sim.Runner, t graph.Topology, seed int64) (coloring.Assignment, sim.Stats, error) {
-	alg := newDegreeLubyAlg(t, seed)
-	stats, err := r.Run(alg, 64*(intLog2(t.N())+2)+64)
+	alg := NewDegreeLuby(t, seed)
+	stats, err := r.Run(alg, DegreeLubyMaxRounds(t.N()))
 	if err != nil {
 		return nil, stats, err
 	}
-	phi := coloring.Assignment(alg.color)
+	phi := alg.Colors()
 	if err := coloring.CheckProperOn(t, phi, t.MaxDegree()+1); err != nil {
 		return nil, stats, err
 	}
 	return phi, stats, nil
 }
 
-// degreeLubyAlg is the per-node state of DegreeLuby. Undecided node v
+// DegreeLubyMaxRounds is the round budget DegreeLuby allows for an n-node
+// graph — generous over the O(log n) expectation so a run that exceeds it
+// indicates a bug, not bad luck. Exported so checkpoint/resume drivers
+// (cmd/ldc-run) pass the identical budget on every attempt.
+func DegreeLubyMaxRounds(n int) int { return 64*(intLog2(n)+2) + 64 }
+
+// DegreeLubyAlg is the per-node state of DegreeLuby. Undecided node v
 // proposes a uniform color from [0, deg(v)+1) minus the colors announced
 // by decided neighbors; a proposal survives unless some neighbor message
 // this round (a competing proposal or a decision announcement) carries the
 // same color. Decided nodes broadcast (decided=1, color) once and then
 // send nothing, so the run quiesces when the last announcement lands.
-type degreeLubyAlg struct {
+//
+// Randomness comes from one splitmix64 stream per node seeded by
+// (seed, v), so the complete inter-round state is a few plain slices —
+// that is what makes the algorithm a sim.Snapshotter and DegreeLuby the
+// reference workload of the kill/resume golden tests.
+type DegreeLubyAlg struct {
 	t         graph.Topology
-	rng       []*rand.Rand
+	rng       []uint64 // per-node splitmix64 state
 	color     []int    // final color or -1
 	proposal  []int    // this round's proposal
 	taken     [][]bool // palette slots claimed by decided neighbors
@@ -52,11 +64,13 @@ type degreeLubyAlg struct {
 	started   bool
 }
 
-func newDegreeLubyAlg(t graph.Topology, seed int64) *degreeLubyAlg {
+// NewDegreeLuby returns the DegreeLuby algorithm state for t, ready to
+// run (or to restore a checkpoint into via RestoreState).
+func NewDegreeLuby(t graph.Topology, seed int64) *DegreeLubyAlg {
 	n := t.N()
-	a := &degreeLubyAlg{
+	a := &DegreeLubyAlg{
 		t:         t,
-		rng:       make([]*rand.Rand, n),
+		rng:       make([]uint64, n),
 		color:     make([]int, n),
 		proposal:  make([]int, n),
 		taken:     make([][]bool, n),
@@ -64,15 +78,29 @@ func newDegreeLubyAlg(t graph.Topology, seed int64) *degreeLubyAlg {
 		undecided: int64(n),
 	}
 	for v := 0; v < n; v++ {
-		a.rng[v] = rand.New(rand.NewSource(seed*1_000_003 + int64(v)))
+		a.rng[v] = uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(v)*0xBF58476D1CE4E5B9 ^ 0x94D049BB133111EB
 		a.color[v] = -1
 		a.taken[v] = make([]bool, len(t.Neighbors(v))+1)
 	}
 	return a
 }
 
+// splitmix64 advances one node's PRNG state and returns the next draw
+// (Steele–Lea–Flood finalizer; the state is a single uint64, which keeps
+// snapshots trivial and draws allocation-free).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
 // Outbox implements sim.Algorithm.
-func (a *degreeLubyAlg) Outbox(v int, out *sim.Outbox) {
+func (a *DegreeLubyAlg) Outbox(v int, out *sim.Outbox) {
 	if a.color[v] >= 0 {
 		if !a.announced[v] {
 			a.announced[v] = true
@@ -90,7 +118,7 @@ func (a *degreeLubyAlg) Outbox(v int, out *sim.Outbox) {
 			free++
 		}
 	}
-	pick := a.rng[v].Intn(free)
+	pick := int(splitmix64(&a.rng[v]) % uint64(free))
 	for c, t := range taken {
 		if t {
 			continue
@@ -105,7 +133,7 @@ func (a *degreeLubyAlg) Outbox(v int, out *sim.Outbox) {
 }
 
 // Inbox implements sim.Algorithm.
-func (a *degreeLubyAlg) Inbox(v int, in []sim.Received) {
+func (a *DegreeLubyAlg) Inbox(v int, in []sim.Received) {
 	if a.color[v] >= 0 {
 		return
 	}
@@ -128,7 +156,7 @@ func (a *degreeLubyAlg) Inbox(v int, in []sim.Received) {
 
 // Done implements sim.Algorithm. The scan over colors restarts from the
 // undecided count so steady-state rounds stay O(1) once everyone decided.
-func (a *degreeLubyAlg) Done() bool {
+func (a *DegreeLubyAlg) Done() bool {
 	if !a.started {
 		a.started = true
 		return false
@@ -148,7 +176,7 @@ func (a *degreeLubyAlg) Done() bool {
 // Quiesced implements sim.Quiescent: once decided nodes have all announced
 // the network goes silent, and a silent round with everyone colored is a
 // valid termination.
-func (a *degreeLubyAlg) Quiesced() bool {
+func (a *DegreeLubyAlg) Quiesced() bool {
 	for _, c := range a.color {
 		if c < 0 {
 			return false
@@ -156,3 +184,71 @@ func (a *degreeLubyAlg) Quiesced() bool {
 	}
 	return true
 }
+
+// Colors returns the per-node colors (−1 for still-undecided nodes); the
+// slice aliases the algorithm's state.
+func (a *DegreeLubyAlg) Colors() coloring.Assignment { return coloring.Assignment(a.color) }
+
+// SnapshotState implements sim.Snapshotter: the complete inter-round
+// state is the per-node PRNG cursors, colors, proposals, claimed palette
+// slots, announcement flags, and the Done bookkeeping.
+func (a *DegreeLubyAlg) SnapshotState(e *ckpt.Encoder) {
+	n := len(a.color)
+	e.Uvarint(uint64(n))
+	e.Bool(a.started)
+	e.Int64(a.undecided)
+	for v := 0; v < n; v++ {
+		e.Uvarint(a.rng[v])
+		e.Int(a.color[v])
+		e.Int(a.proposal[v])
+		e.Bool(a.announced[v])
+		taken := a.taken[v]
+		bits := make([]byte, (len(taken)+7)/8)
+		for c, t := range taken {
+			if t {
+				bits[c/8] |= 1 << (c % 8)
+			}
+		}
+		e.Bytes(bits)
+	}
+}
+
+// RestoreState implements sim.Snapshotter. The receiver must be freshly
+// constructed by NewDegreeLuby over the same topology and seed; every
+// count and color range is validated so adversarial images fail with a
+// typed error instead of corrupting state or panicking.
+func (a *DegreeLubyAlg) RestoreState(d *ckpt.Decoder) error {
+	n := len(a.color)
+	if got := d.Uvarint(); d.Err() == nil && got != uint64(n) {
+		return fmt.Errorf("baseline: checkpoint is for %d nodes, graph has %d", got, n)
+	}
+	a.started = d.Bool()
+	a.undecided = d.Int64()
+	if d.Err() == nil && (a.undecided < 0 || a.undecided > int64(n)) {
+		return fmt.Errorf("baseline: checkpoint undecided count %d out of range", a.undecided)
+	}
+	for v := 0; v < n; v++ {
+		a.rng[v] = d.Uvarint()
+		a.color[v] = d.Int()
+		a.proposal[v] = d.Int()
+		a.announced[v] = d.Bool()
+		bits := d.Bytes()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		palette := len(a.taken[v])
+		if a.color[v] < -1 || a.color[v] >= palette || a.proposal[v] < 0 || a.proposal[v] >= palette {
+			return fmt.Errorf("baseline: checkpoint node %d color %d/proposal %d outside palette %d", v, a.color[v], a.proposal[v], palette)
+		}
+		if len(bits) != (palette+7)/8 {
+			return fmt.Errorf("baseline: checkpoint node %d palette bitmap is %d bytes, want %d", v, len(bits), (palette+7)/8)
+		}
+		for c := range a.taken[v] {
+			a.taken[v][c] = bits[c/8]&(1<<(c%8)) != 0
+		}
+	}
+	return d.Err()
+}
+
+var _ sim.Snapshotter = (*DegreeLubyAlg)(nil)
+var _ sim.Quiescent = (*DegreeLubyAlg)(nil)

@@ -25,7 +25,6 @@ import (
 	"math"
 	"sort"
 	"strconv"
-	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -183,71 +182,20 @@ func Compose(models ...sim.FaultModel) sim.FaultModel {
 //
 // e.g. "drop:0.05+flip:0.01" or "crash:3@1+heavy:4:0.5". The graph
 // provides degrees for heavy; seed drives every randomized term.
+//
+// Duplicate or conflicting terms — the same term twice, repeated
+// drop/flip/heavy kinds, crash events sharing a node or a start round —
+// fail with a typed *ConflictError. Process-level kill/killshard terms
+// are rejected here; callers that supervise restarts use ParsePlan.
 func Parse(spec string, seed uint64, g *graph.Graph) (sim.FaultModel, error) {
-	var models []sim.FaultModel
-	for i, term := range strings.Split(spec, "+") {
-		term = strings.TrimSpace(term)
-		if term == "" {
-			return nil, fmt.Errorf("chaos: empty term at position %d in %q", i, spec)
-		}
-		kind, rest, _ := strings.Cut(term, ":")
-		switch kind {
-		case "drop", "flip":
-			p, err := parseProb(rest)
-			if err != nil {
-				return nil, fmt.Errorf("chaos: %s: %w", term, err)
-			}
-			if kind == "drop" {
-				models = append(models, Drop(seed+uint64(i), p))
-			} else {
-				models = append(models, Flip(seed+uint64(i), p))
-			}
-		case "crash":
-			node, when, ok := strings.Cut(rest, "@")
-			if !ok {
-				return nil, fmt.Errorf("chaos: %s: want crash:V@R or crash:V@R-U", term)
-			}
-			v, err := strconv.Atoi(node)
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("chaos: %s: bad node %q", term, node)
-			}
-			from, untilStr, recover := strings.Cut(when, "-")
-			r, err := strconv.Atoi(from)
-			if err != nil || r < 0 {
-				return nil, fmt.Errorf("chaos: %s: bad round %q", term, from)
-			}
-			until := -1
-			if recover {
-				if until, err = strconv.Atoi(untilStr); err != nil || until <= r {
-					return nil, fmt.Errorf("chaos: %s: bad recovery round %q", term, untilStr)
-				}
-			}
-			models = append(models, CrashWindow(v, r, until))
-		case "heavy":
-			kStr, pStr, ok := strings.Cut(rest, ":")
-			if !ok {
-				return nil, fmt.Errorf("chaos: %s: want heavy:K:P", term)
-			}
-			k, err := strconv.Atoi(kStr)
-			if err != nil || k <= 0 {
-				return nil, fmt.Errorf("chaos: %s: bad count %q", term, kStr)
-			}
-			p, err := parseProb(pStr)
-			if err != nil {
-				return nil, fmt.Errorf("chaos: %s: %w", term, err)
-			}
-			if g == nil {
-				return nil, fmt.Errorf("chaos: %s needs a graph for degrees", term)
-			}
-			models = append(models, HeavyHitters(g, k, seed+uint64(i), p))
-		default:
-			return nil, fmt.Errorf("chaos: unknown fault kind %q (want drop|flip|crash|heavy)", kind)
-		}
+	plan, err := ParsePlan(spec, seed, g)
+	if err != nil {
+		return nil, err
 	}
-	if len(models) == 0 {
-		return nil, fmt.Errorf("chaos: empty spec")
+	if len(plan.Kills) > 0 {
+		return nil, fmt.Errorf("chaos: spec %q contains process-kill terms; use ParsePlan with a supervisor", spec)
 	}
-	return Compose(models...), nil
+	return plan.Model, nil
 }
 
 func parseProb(s string) (float64, error) {
@@ -262,6 +210,10 @@ func parseProb(s string) (float64, error) {
 type Named struct {
 	Name  string
 	Model sim.FaultModel
+	// Corrupting marks schedules that corrupt message payloads (flip
+	// terms). Drivers must not run them against algorithms without
+	// hardened decode paths.
+	Corrupting bool
 }
 
 // Builtin returns the standard chaos-bench fault schedules over g, from
@@ -280,14 +232,14 @@ func Builtin(g *graph.Graph, seed uint64) []Named {
 		cut = append(cut, [2]int{heavyNode, int(u)})
 	}
 	return []Named{
-		{"drop-1pct", Drop(seed, 0.01)},
-		{"drop-10pct", Drop(seed+1, 0.10)},
-		{"flip-1pct", Flip(seed+2, 0.01)},
-		{"flip-10pct", Flip(seed+3, 0.10)},
-		{"heavy-4-half", HeavyHitters(g, 4, seed+4, 0.5)},
-		{"cut-heaviest", CutSet(cut)},
-		{"crash-heaviest", Crash(heavyNode, 1)},
-		{"crash-recover", CrashWindow(heavyNode, 0, 2)},
-		{"storm", Compose(Crash(heavyNode, 1), Drop(seed+5, 0.05), Flip(seed+6, 0.02))},
+		{Name: "drop-1pct", Model: Drop(seed, 0.01)},
+		{Name: "drop-10pct", Model: Drop(seed+1, 0.10)},
+		{Name: "flip-1pct", Model: Flip(seed+2, 0.01), Corrupting: true},
+		{Name: "flip-10pct", Model: Flip(seed+3, 0.10), Corrupting: true},
+		{Name: "heavy-4-half", Model: HeavyHitters(g, 4, seed+4, 0.5)},
+		{Name: "cut-heaviest", Model: CutSet(cut)},
+		{Name: "crash-heaviest", Model: Crash(heavyNode, 1)},
+		{Name: "crash-recover", Model: CrashWindow(heavyNode, 0, 2)},
+		{Name: "storm", Model: Compose(Crash(heavyNode, 1), Drop(seed+5, 0.05), Flip(seed+6, 0.02)), Corrupting: true},
 	}
 }

@@ -1,0 +1,193 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRoundTrip pins that every section type survives encode/decode and
+// that Done accepts a fully-consumed image.
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder("test/v1")
+	e.Uvarint(0)
+	e.Uvarint(1 << 62)
+	e.Int(-1)
+	e.Int64(-1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes([]byte("payload"))
+	e.Bytes(nil)
+	e.Ints([]int{3, -7, 0})
+	img := e.Finish()
+
+	d, err := NewDecoder(img, "test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<62 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := d.Int(); got != -1 {
+		t.Errorf("int = %d", got)
+	}
+	if got := d.Int64(); got != -1<<40 {
+		t.Errorf("int64 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("bools corrupted")
+	}
+	if got := string(d.Bytes()); got != "payload" {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("empty bytes = %v", got)
+	}
+	xs := d.Ints()
+	if len(xs) != 3 || xs[0] != 3 || xs[1] != -7 || xs[2] != 0 {
+		t.Errorf("ints = %v", xs)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+// TestRawRoundTrip pins the unframed nested-blob path.
+func TestRawRoundTrip(t *testing.T) {
+	inner := NewRawEncoder()
+	inner.Int(42)
+	outer := NewEncoder("outer/v1")
+	outer.Bytes(inner.Finish())
+	img := outer.Finish()
+
+	d, err := NewDecoder(img, "outer/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRawDecoder(d.Bytes())
+	if got := rd.Int(); got != 42 {
+		t.Errorf("nested int = %d", got)
+	}
+	if err := rd.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptImages pins that structural damage yields *CorruptError —
+// never a panic and never silent success.
+func TestCorruptImages(t *testing.T) {
+	e := NewEncoder("test/v1")
+	e.Uvarint(7)
+	e.Bytes([]byte("abc"))
+	img := e.Finish()
+
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        img[:3],
+		"bad magic":    append([]byte("XXXX/v1"), img[7:]...),
+		"flipped bit":  flipBit(img, 9),
+		"flipped crc":  flipBit(img, len(img)*8-1),
+		"truncated":    img[:len(img)-5],
+		"extra suffix": append(append([]byte{}, img...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := NewDecoder(data, "test/v1"); err == nil {
+			t.Errorf("%s: decoder accepted corrupt image", name)
+		} else {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Errorf("%s: error %v is not *CorruptError", name, err)
+			}
+		}
+	}
+}
+
+// TestStickySections pins the sticky-error contract: oversized lengths
+// and truncated sections fail typed without allocating, and later reads
+// stay inert.
+func TestStickySections(t *testing.T) {
+	e := NewEncoder("test/v1")
+	e.Uvarint(1 << 40) // absurd byte-section length
+	img := e.Finish()
+	d, err := NewDecoder(img, "test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := d.Bytes(); b != nil {
+		t.Errorf("oversized Bytes returned %v", b)
+	}
+	var ce *CorruptError
+	if !errors.As(d.Err(), &ce) {
+		t.Fatalf("err = %v, want *CorruptError", d.Err())
+	}
+	// Sticky: everything after the failure is inert.
+	if d.Uvarint() != 0 || d.Int() != 0 || d.Bool() || d.Bytes() != nil || d.Ints() != nil {
+		t.Error("reads after failure not inert")
+	}
+	if d.Done() != d.Err() {
+		t.Error("Done should return the latched error")
+	}
+
+	// Ints with an oversized count must also fail before allocating.
+	e2 := NewEncoder("test/v1")
+	e2.Uvarint(1 << 40)
+	d2, err := NewDecoder(e2.Finish(), "test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs := d2.Ints(); xs != nil || d2.Err() == nil {
+		t.Errorf("oversized Ints: %v, err %v", xs, d2.Err())
+	}
+
+	// Trailing garbage inside a valid frame is flagged by Done.
+	e3 := NewEncoder("test/v1")
+	e3.Uvarint(1)
+	e3.Uvarint(2)
+	d3, err := NewDecoder(e3.Finish(), "test/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3.Uvarint()
+	if err := d3.Done(); err == nil {
+		t.Error("Done accepted trailing sections")
+	}
+}
+
+// TestWriteFileAtomic pins create, replace, and no-temp-left-behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Errorf("content = %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("dir has %d entries, want 1 (no temp files left)", len(ents))
+	}
+}
+
+func flipBit(b []byte, bit int) []byte {
+	out := append([]byte{}, b...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}

@@ -15,6 +15,7 @@ var docCheckedPackages = []string{
 	"../sim",
 	"../cover",
 	"../chaos",
+	"../ckpt",
 	"../oldc",
 	"../obs",
 	"../serve",

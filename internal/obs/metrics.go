@@ -288,6 +288,28 @@ const (
 	// replicates: remote endpoints referenced by each shard's adjacency,
 	// summed over shards.
 	MetricShardGhostNodes = "ldc_shard_ghost_nodes"
+	// MetricCkptWrites counts round-boundary checkpoint images written.
+	MetricCkptWrites = "ldc_ckpt_writes_total"
+	// MetricCkptBytes counts bytes written across all checkpoint images.
+	MetricCkptBytes = "ldc_ckpt_bytes_total"
+	// MetricCkptLastRound gauges the round recorded by the most recent
+	// checkpoint (the round a crashed run would resume from).
+	MetricCkptLastRound = "ldc_ckpt_last_round"
+	// MetricCkptRestores counts successful checkpoint restores.
+	MetricCkptRestores = "ldc_ckpt_restores_total"
+	// MetricWALAppends counts mutation batches appended to the serve WAL.
+	MetricWALAppends = "ldc_wal_appends_total"
+	// MetricWALBytes counts bytes appended to the serve WAL.
+	MetricWALBytes = "ldc_wal_bytes_total"
+	// MetricWALFsyncs counts fsync calls issued by the serve WAL.
+	MetricWALFsyncs = "ldc_wal_fsyncs_total"
+	// MetricWALReplayed counts batches replayed from the WAL at recovery.
+	MetricWALReplayed = "ldc_wal_replayed_total"
+	// MetricServeSnapshots counts durable state snapshots written.
+	MetricServeSnapshots = "ldc_serve_snapshots_total"
+	// MetricServeDegraded gauges degraded read-only mode (1 while the
+	// durable store refuses mutations after a recovery failure).
+	MetricServeDegraded = "ldc_serve_degraded"
 )
 
 // RoundMaxBitsBuckets are the default histogram bounds for

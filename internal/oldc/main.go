@@ -32,6 +32,43 @@ import (
 //     C_v, counting exact colors of higher classes and candidate sets of
 //     non-ignored same-class out-neighbors.
 func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.Stats, error) {
+	alg, total, err := prepareTwoPhase(eng, in, opts)
+	if err != nil {
+		return nil, total, err
+	}
+	obs.EmitPhase(eng.Tracer(), "oldc/two-phase", obs.Attrs{"h": alg.spec.h})
+	stats, err := eng.Run(alg, twoPhaseMaxRounds(alg.spec.h))
+	publishCacheStats(eng, alg.cache)
+	total = total.Add(stats)
+	if err != nil {
+		return nil, total, err
+	}
+	phi := coloring.Assignment(alg.phi)
+	for v, c := range phi {
+		if c < 0 {
+			return nil, total, fmt.Errorf("oldc: node %d left uncolored", v)
+		}
+	}
+	if !opts.SkipValidate {
+		if err := coloring.CheckOLDC(in.O, in.Lists, phi); err != nil {
+			return nil, total, fmt.Errorf("oldc: Solve output invalid: %w", err)
+		}
+	}
+	return phi, total, nil
+}
+
+// twoPhaseMaxRounds is the round budget Solve grants the Lemma 3.7
+// two-phase stage (3h scheduled rounds plus quiesce slack).
+func twoPhaseMaxRounds(h int) int { return 3*h + 4 }
+
+// prepareTwoPhase runs Solve's deterministic preparation — the Lemma 3.8
+// local case analysis and the γ-class selection (auxiliary generalized
+// OLDC solve) — and returns the ready-to-run two-phase algorithm plus the
+// statistics spent so far. It is factored out of Solve for checkpoint
+// resume: preparation is a pure function of (Input, Options), so a
+// supervisor rebuilds the algorithm by re-preparing and then restoring the
+// checkpointed two-phase state into it (see docs/RECOVERY.md).
+func prepareTwoPhase(eng *sim.Engine, in Input, opts Options) (*twoPhaseAlg, sim.Stats, error) {
 	if opts.Gap != 0 {
 		return nil, sim.Stats{}, fmt.Errorf("oldc: Solve only handles gap 0 (Lemma 3.6 handles general gaps)")
 	}
@@ -127,25 +164,7 @@ func Solve(eng *sim.Engine, in Input, opts Options) (coloring.Assignment, sim.St
 	}
 	alg := newTwoPhase(spec)
 	alg.sink = eng
-	obs.EmitPhase(eng.Tracer(), "oldc/two-phase", obs.Attrs{"h": h})
-	stats, err := eng.Run(alg, 3*h+4)
-	publishCacheStats(eng, alg.cache)
-	total = total.Add(stats)
-	if err != nil {
-		return nil, total, err
-	}
-	phi := coloring.Assignment(alg.phi)
-	for v, c := range phi {
-		if c < 0 {
-			return nil, total, fmt.Errorf("oldc: node %d left uncolored", v)
-		}
-	}
-	if !opts.SkipValidate {
-		if err := coloring.CheckOLDC(o, in.Lists, phi); err != nil {
-			return nil, total, fmt.Errorf("oldc: Solve output invalid: %w", err)
-		}
-	}
-	return phi, total, nil
+	return alg, total, nil
 }
 
 // hPrimeFor returns h′ = 4^⌈log₄ log₂(8h)⌉ from Lemma 3.8.
@@ -448,6 +467,7 @@ type twoPhaseAlg struct {
 	nbrType  []typeInfo            // by out-neighbor position
 	nbrFam   []*cover.CachedFamily // family of the received type (nil = no type)
 	nbrCv    [][]int               // announced C_u (nil = none)
+	nbrCvIdx []int32               // announced set index behind nbrCv (−1 = none)
 	nbrColor []int32               // final color (−1 = none)
 
 	phi      []int
@@ -471,6 +491,7 @@ func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 		nbrType:  make([]typeInfo, csr.arcs()),
 		nbrFam:   make([]*cover.CachedFamily, csr.arcs()),
 		nbrCv:    make([][]int, csr.arcs()),
+		nbrCvIdx: make([]int32, csr.arcs()),
 		nbrColor: make([]int32, csr.arcs()),
 		phi:      make([]int, n),
 		pickedAt: make([]int, n),
@@ -486,6 +507,7 @@ func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 	a.listBuf = make([]int, total)
 	for i := range a.nbrColor {
 		a.nbrColor[i] = -1
+		a.nbrCvIdx[i] = -1
 	}
 	for v := 0; v < n; v++ {
 		a.phi[v] = -1
@@ -638,6 +660,7 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 				}
 				if m.index < len(fam.Sets) {
 					a.nbrCv[pos] = fam.Sets[m.index]
+					a.nbrCvIdx[pos] = int32(m.index)
 				}
 			}
 			if class == h && a.spec.gclass[v] == h {

@@ -75,6 +75,11 @@ type RegionOptions struct {
 	Tracer obs.Tracer
 	// Metrics receives the residual solve's engine metrics (nil = none).
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects a structured fault schedule into the
+	// residual solve's engine (see sim.FaultModel and internal/chaos). The
+	// model sees the residual's local round clock and node ids, letting
+	// chaos tests exercise faults during repair re-solves themselves.
+	Faults sim.FaultModel
 	// Scratch pools the repair working set across calls (nil = allocate
 	// fresh; steady-state callers like the recoloring service pass one).
 	Scratch *RepairScratch
@@ -86,10 +91,11 @@ type RegionOptions struct {
 // that still have defect budget left after subtracting same-colored fixed
 // (non-region) out-neighbors, and the original init coloring (a proper
 // coloring stays proper on an induced subgraph). The residual solve runs
-// on a fresh fault-free engine — detect-and-repair models transient
-// faults that have passed by the time the (much smaller) residual is
-// re-solved — that reports into opts.Tracer/opts.Metrics, so repairs show
-// up in the same trace as the run they fix.
+// on a fresh engine — fault-free by default, since detect-and-repair
+// models transient faults that have passed by the time the (much smaller)
+// residual is re-solved, but opts.Faults can inject a schedule into the
+// repair itself — that reports into opts.Tracer/opts.Metrics, so repairs
+// show up in the same trace as the run they fix.
 //
 // region must be duplicate-free (graph.ErrDuplicateVertex otherwise).
 // On error phi is left unmodified. This is the region-scoped core of
@@ -163,7 +169,7 @@ func RepairRegion(in Input, phi coloring.Assignment, region []int, opts RegionOp
 	}
 	rin := Input{O: subO, SpaceSize: in.SpaceSize, Lists: sc.lists, InitColors: sc.inits, M: in.M}
 	ropts := Options{Params: opts.Params, SkipValidate: true, NoFamilyCache: opts.NoFamilyCache}
-	reng := sim.NewEngineWith(subO.Graph(), sim.Options{Tracer: opts.Tracer, Metrics: opts.Metrics})
+	reng := sim.NewEngineWith(subO.Graph(), sim.Options{Tracer: opts.Tracer, Metrics: opts.Metrics, Faults: opts.Faults})
 	subPhi, stats, err := SolveMulti(reng, rin, ropts)
 	if err != nil {
 		return stats, err

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// ErrDegraded is the sentinel wrapped by every mutation rejected because
+// the durable store is in degraded read-only mode. The store degrades
+// when recovery hits damage it cannot repair exactly — mid-WAL corruption
+// with no clean fallback, or a replayed batch that panics — and from then
+// on it serves the last consistent (possibly stale) coloring and refuses
+// writes rather than diverge from its own log.
+var ErrDegraded = errors.New("serve: durable store degraded, mutations disabled")
+
+// DurableOptions tunes the persistence layer of a durable server.
+type DurableOptions struct {
+	// SnapshotEvery is the compaction cadence: after this many batches
+	// accumulate in the live WAL generation, the state is snapshotted and
+	// a fresh WAL generation starts (≤0 = 64).
+	SnapshotEvery int
+	// SyncEvery is the WAL fsync cadence in records (≤1 = every record).
+	// Batches between fsyncs can be lost to a crash — they are trimmed as
+	// a torn tail on recovery — so raising it trades durability of the
+	// most recent batches for append throughput.
+	SyncEvery int
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 64
+	}
+	if o.SyncEvery < 1 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// Durable wraps a Server with crash-safe persistence: every mutation
+// batch is appended to a CRC-framed write-ahead log before it is applied,
+// and the full state is snapshotted (ldc-snap/v1) every SnapshotEvery
+// batches, at which point the WAL rotates to a new generation. Reopening
+// the directory restores the exact pre-crash state — snapshot plus replay
+// of the live WAL — bit-identically, because the serve engine is
+// deterministic per mutation sequence.
+//
+// On-disk layout: snap-%06d images and wal-%06d.log logs, numbered by
+// generation. Generation k's base state is snap-k (written at first boot
+// for generation 0, by compaction afterwards) and wal-k.log holds the
+// batches applied since. The previous generation's files are retained
+// until the next compaction, so a corrupt snapshot can be rebuilt from
+// the prior snapshot plus its complete WAL.
+//
+// Methods are safe for concurrent use. Reads go straight to the wrapped
+// Server (Server method); mutations must go through Apply, whose lock
+// orders the WAL exactly like the applied history.
+type Durable struct {
+	mu   sync.Mutex
+	dir  string
+	opts DurableOptions
+	srv  *Server
+
+	wal        *walWriter
+	gen        int
+	walBatches int   // batches in the live WAL generation
+	degraded   error // non-nil => read-only
+}
+
+func snapPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%06d", gen))
+}
+
+func walPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", gen))
+}
+
+// scanGenerations returns the highest generation number for which a
+// snapshot or WAL file exists, or 0 when the directory holds neither.
+func scanGenerations(dir string) int {
+	latest := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, ent := range entries {
+		var gen int
+		if n, err := fmt.Sscanf(ent.Name(), "snap-%d", &gen); n == 1 && err == nil && gen > latest {
+			latest = gen
+		}
+		if n, err := fmt.Sscanf(ent.Name(), "wal-%d.log", &gen); n == 1 && err == nil && gen > latest {
+			latest = gen
+		}
+	}
+	return latest
+}
+
+// OpenDurable opens (or creates) the durable store rooted at dir. On an
+// empty directory it solves g from scratch exactly like New, writes the
+// generation-0 snapshot, and starts logging; otherwise it recovers: load
+// the latest snapshot, replay the live WAL's intact records, and truncate
+// any torn tail. g is used only on first creation — a reopen restores the
+// graph from the snapshot, so g may be nil then. cfg's deterministic
+// fields are fingerprinted in every snapshot; reopening with a different
+// config is a typed error, because replaying history under different
+// parameters would silently diverge.
+//
+// Recovery degrades instead of failing when the data is damaged but a
+// consistent prefix is reachable: a corrupt latest snapshot falls back to
+// the previous generation's snapshot plus its complete WAL (and the
+// repaired image is rewritten); mid-WAL corruption or a replayed batch
+// that panics leaves the store serving the state up to the damage with
+// Apply disabled (ErrDegraded). Only unreadable directories, config
+// mismatches, and fallback chains with no consistent prefix return
+// errors.
+func OpenDurable(g *graph.Graph, cfg Config, dir string, opts DurableOptions) (*Durable, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Durable{dir: dir, opts: opts, gen: scanGenerations(dir)}
+
+	if d.gen == 0 && !fileExists(snapPath(dir, 0)) && !fileExists(walPath(dir, 0)) {
+		srv, err := New(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := ckpt.WriteFileAtomic(snapPath(dir, 0), srv.EncodeState()); err != nil {
+			return nil, fmt.Errorf("serve: write boot snapshot: %w", err)
+		}
+		w, err := newWALWriter(walPath(dir, 0), int64(len(WALMagic)), opts.SyncEvery)
+		if err != nil {
+			return nil, err
+		}
+		d.srv, d.wal = srv, w
+		return d, nil
+	}
+
+	srv, err := d.loadBase(cfg, d.gen)
+	if err != nil {
+		var snapErr *CorruptSnapshotError
+		if !errors.As(err, &snapErr) || d.gen == 0 {
+			return nil, err
+		}
+		// The latest snapshot is damaged. Rebuild its state from the
+		// previous generation: prior snapshot plus a complete replay of the
+		// prior WAL reproduces it bit-identically.
+		srv, err = d.rebuildFromPrevious(cfg, snapErr)
+		if err != nil {
+			return nil, err
+		}
+		if srv == nil {
+			// Fallback found a consistent prefix but not the full prior
+			// history: d is already degraded, serving the prefix read-only.
+			return d, nil
+		}
+		// Self-heal: rewrite the snapshot so the next open is direct.
+		if werr := ckpt.WriteFileAtomic(snapPath(dir, d.gen), srv.EncodeState()); werr != nil {
+			return nil, fmt.Errorf("serve: rewrite recovered snapshot: %w", werr)
+		}
+	}
+	d.srv = srv
+
+	batches, validLen, err := replayWAL(walPath(dir, d.gen))
+	if err != nil {
+		var walErr *CorruptWALError
+		if !errors.As(err, &walErr) {
+			return nil, err
+		}
+		d.replay(batches)
+		d.degrade(err)
+		return d, nil
+	}
+	if perr := d.replay(batches); perr != nil {
+		d.degrade(perr)
+		return d, nil
+	}
+	w, err := newWALWriter(walPath(dir, d.gen), validLen, opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	d.walBatches = len(batches)
+	if d.walBatches >= opts.SnapshotEvery {
+		if err := d.compact(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// fileExists reports whether path exists (as any kind of file).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// loadBase builds the server state at the start of generation gen from
+// its snapshot image.
+func (d *Durable) loadBase(cfg Config, gen int) (*Server, error) {
+	data, err := os.ReadFile(snapPath(d.dir, gen))
+	if err != nil {
+		return nil, &CorruptSnapshotError{Path: snapPath(d.dir, gen), Err: err}
+	}
+	srv, err := FromState(data, cfg)
+	if err != nil {
+		var snapErr *CorruptSnapshotError
+		if errors.As(err, &snapErr) && snapErr.Path == "" {
+			snapErr.Path = snapPath(d.dir, gen)
+		}
+		return nil, err
+	}
+	return srv, nil
+}
+
+// rebuildFromPrevious reconstructs the state of snapshot d.gen from
+// generation d.gen-1 (its snapshot plus a complete WAL replay). On full
+// success it returns the rebuilt server. When the prior chain is itself
+// damaged but a consistent prefix exists, it installs that prefix on d,
+// degrades the store, and returns (nil, nil). With no consistent prefix
+// at all it returns an error chaining both failures.
+func (d *Durable) rebuildFromPrevious(cfg Config, cause *CorruptSnapshotError) (*Server, error) {
+	prev := d.gen - 1
+	srv, err := d.loadBase(cfg, prev)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot %d corrupt (%v) and generation %d fallback failed: %w", d.gen, cause, prev, err)
+	}
+	batches, _, err := replayWAL(walPath(d.dir, prev))
+	d.srv = srv
+	if perr := d.replay(batches); perr != nil {
+		d.degrade(perr)
+		return nil, nil
+	}
+	if err != nil {
+		// The prior WAL is itself damaged mid-file: the intact prefix is
+		// consistent but cannot reach the corrupted snapshot's state.
+		d.degrade(fmt.Errorf("snapshot %d corrupt (%v) and prior WAL damaged: %w", d.gen, cause, err))
+		return nil, nil
+	}
+	d.srv = nil
+	return srv, nil
+}
+
+// replay applies recovered batches to the wrapped server. Mutation errors
+// are deterministic outcomes already part of the recorded history
+// (Apply fails fast but keeps the batch's earlier mutations), so they are
+// not failures; a panic — a poison batch, e.g. color-space exhaustion —
+// is returned so the caller can degrade.
+func (d *Durable) replay(batches [][]Mutation) (panicked error) {
+	reg := d.srv.cfg.Metrics
+	for i, batch := range batches {
+		if err := d.applyRecovered(i, batch); err != nil {
+			return err
+		}
+		if reg != nil {
+			reg.Counter(obs.MetricWALReplayed).Add(1)
+		}
+	}
+	return nil
+}
+
+// applyRecovered applies one replayed batch, converting panics to errors.
+func (d *Durable) applyRecovered(i int, batch []Mutation) (panicked error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = fmt.Errorf("serve: replayed batch %d panicked: %v", i+1, r)
+		}
+	}()
+	d.srv.Apply(batch)
+	return nil
+}
+
+// degrade switches the store to read-only mode. Callers either hold d.mu
+// or have exclusive access during OpenDurable.
+func (d *Durable) degrade(cause error) {
+	if d.degraded != nil {
+		return
+	}
+	d.degraded = cause
+	if d.wal != nil {
+		d.wal.close()
+		d.wal = nil
+	}
+	if reg := d.srv.cfg.Metrics; reg != nil {
+		reg.Gauge(obs.MetricServeDegraded).Set(1)
+	}
+}
+
+// Server returns the wrapped server for reads (Color, Snapshot, N,
+// Instance). Mutations must go through Durable.Apply — calling
+// Server().Apply directly bypasses the WAL and forfeits crash safety.
+func (d *Durable) Server() *Server { return d.srv }
+
+// Degraded returns the cause of degraded read-only mode, or nil when the
+// store accepts mutations.
+func (d *Durable) Degraded() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// Generation returns the live WAL generation number.
+func (d *Durable) Generation() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Apply logs the batch to the WAL (write-ahead: the record is durable, or
+// at least ahead of any state change, before the engine runs) and then
+// applies it to the wrapped server, compacting when the snapshot cadence
+// is due. The store-level lock spans append and apply, so WAL order is
+// exactly the applied history's order. Mutation errors from the server
+// pass through unchanged — the batch is already recorded, and replay
+// reproduces the same partial application. A batch that panics the
+// engine degrades the store (the same panic would recur on every replay)
+// and returns the panic wrapped in ErrDegraded.
+func (d *Durable) Apply(batch []Mutation) (BatchReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.degraded != nil {
+		return BatchReport{}, fmt.Errorf("%w: %v", ErrDegraded, d.degraded)
+	}
+	size, synced, err := d.wal.append(batch)
+	if err != nil {
+		return BatchReport{}, err
+	}
+	if reg := d.srv.cfg.Metrics; reg != nil {
+		reg.Counter(obs.MetricWALAppends).Add(1)
+		reg.Counter(obs.MetricWALBytes).Add(int64(size))
+		if synced {
+			reg.Counter(obs.MetricWALFsyncs).Add(1)
+		}
+	}
+	d.walBatches++
+
+	rep, aerr := d.applyLive(batch)
+	if d.degraded != nil {
+		return rep, fmt.Errorf("%w: %v", ErrDegraded, d.degraded)
+	}
+	if d.walBatches >= d.opts.SnapshotEvery {
+		if cerr := d.compact(); cerr != nil && aerr == nil {
+			aerr = cerr
+		}
+	}
+	return rep, aerr
+}
+
+// applyLive runs the batch on the wrapped server, degrading on panic.
+// Called with d.mu held.
+func (d *Durable) applyLive(batch []Mutation) (rep BatchReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.degrade(fmt.Errorf("batch panicked: %v", r))
+			err = fmt.Errorf("%w: batch panicked: %v", ErrDegraded, r)
+		}
+	}()
+	return d.srv.Apply(batch)
+}
+
+// compact snapshots the current state as generation gen+1, rotates the
+// WAL, and deletes generations older than the previous one. Called with
+// d.mu held (or with exclusive access during OpenDurable).
+func (d *Durable) compact() error {
+	next := d.gen + 1
+	if err := ckpt.WriteFileAtomic(snapPath(d.dir, next), d.srv.EncodeState()); err != nil {
+		return fmt.Errorf("serve: write snapshot: %w", err)
+	}
+	if err := d.wal.close(); err != nil {
+		return fmt.Errorf("serve: close WAL generation %d: %w", d.gen, err)
+	}
+	w, err := newWALWriter(walPath(d.dir, next), int64(len(WALMagic)), d.opts.SyncEvery)
+	if err != nil {
+		return fmt.Errorf("serve: open WAL generation %d: %w", next, err)
+	}
+	d.wal = w
+	// Keep generations next and next-1; everything older is garbage.
+	for gen := next - 2; gen >= 0; gen-- {
+		serr := os.Remove(snapPath(d.dir, gen))
+		werr := os.Remove(walPath(d.dir, gen))
+		if os.IsNotExist(serr) && os.IsNotExist(werr) {
+			break // older generations were already collected
+		}
+	}
+	d.gen = next
+	d.walBatches = 0
+	if reg := d.srv.cfg.Metrics; reg != nil {
+		reg.Counter(obs.MetricServeSnapshots).Add(1)
+	}
+	return nil
+}
+
+// Sync forces any fsync-batched WAL records to disk.
+func (d *Durable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.sync()
+}
+
+// Close syncs and closes the WAL. The store must not be used afterwards.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	err := d.wal.close()
+	d.wal = nil
+	return err
+}

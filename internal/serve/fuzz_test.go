@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzCfg is the config the fuzz corpora are generated under.
+var fuzzCfg = Config{Seed: 7, SpaceSize: 256}
+
+// sampleState builds a small post-churn snapshot image for seeding.
+func sampleState(f *testing.F) []byte {
+	f.Helper()
+	s, err := New(graph.RandomRegular(16, 4, 3), fuzzCfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Apply([]Mutation{{Op: OpAddNode}, {Op: OpAddEdge, U: 16, V: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	return s.EncodeState()
+}
+
+// FuzzStateDecode pins fail-closed snapshot decoding: FromState on
+// arbitrary bytes returns typed *CorruptSnapshotError values, never
+// panics, and any image it accepts re-encodes to a decodable image.
+func FuzzStateDecode(f *testing.F) {
+	img := sampleState(f)
+	f.Add(img)
+	f.Add(img[:len(img)*2/3])
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x04
+	f.Add(flipped)
+	f.Add([]byte(SnapshotMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := FromState(data, fuzzCfg)
+		if err != nil {
+			var snapErr *CorruptSnapshotError
+			if !errors.As(err, &snapErr) {
+				t.Fatalf("%v is not *CorruptSnapshotError", err)
+			}
+			return
+		}
+		if _, err := FromState(s.EncodeState(), fuzzCfg); err != nil {
+			t.Fatalf("accepted image does not round-trip: %v", err)
+		}
+	})
+}
+
+// sampleWAL builds a three-record log and returns its bytes.
+func sampleWAL(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "wal.log")
+	w, err := newWALWriter(path, int64(len(WALMagic)), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := w.append([]Mutation{{Op: OpAddEdge, U: i, V: i + 1}, {Op: OpAddNode}}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALReplay pins fail-closed log replay: arbitrary bytes on disk
+// produce either a clean replay (with validLen inside the file) or a
+// typed *CorruptWALError, never a panic, and truncating to validLen
+// always replays cleanly to the same batches.
+func FuzzWALReplay(f *testing.F) {
+	wal := sampleWAL(f)
+	f.Add(wal)
+	f.Add(wal[:len(wal)-3])
+	flipped := append([]byte(nil), wal...)
+	flipped[len(WALMagic)+10] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte(WALMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		batches, validLen, err := replayWAL(path)
+		if err != nil {
+			var walErr *CorruptWALError
+			if !errors.As(err, &walErr) {
+				t.Fatalf("%v is not *CorruptWALError", err)
+			}
+			return
+		}
+		if validLen < int64(len(WALMagic)) || validLen > max(int64(len(data)), int64(len(WALMagic))) {
+			t.Fatalf("validLen %d outside file of %d bytes", validLen, len(data))
+		}
+		// The intact prefix is stable: truncating to validLen replays the
+		// same history with nothing torn.
+		if int64(len(data)) >= validLen {
+			if err := os.WriteFile(path, data[:min(validLen, int64(len(data)))], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			again, againLen, err := replayWAL(path)
+			if err != nil || len(again) != len(batches) || againLen != validLen {
+				t.Fatalf("truncated replay diverges: %d/%d batches, len %d/%d, err %v",
+					len(again), len(batches), againLen, validLen, err)
+			}
+		}
+	})
+}

@@ -84,6 +84,14 @@ type Config struct {
 	Tracer obs.Tracer
 	// Metrics receives the serve metrics catalog (nil = none).
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects a structured fault schedule (see
+	// sim.FaultModel and internal/chaos) into every engine the server
+	// runs: the initial solve and each repair re-solve. The model is a
+	// pure function of (round, from, to), so a replayed mutation sequence
+	// still recolors bit-identically — the chaos churn tests depend on it.
+	// Runtime-only, like Tracer and Metrics: not part of the durable
+	// config fingerprint.
+	Faults sim.FaultModel
 }
 
 func (c Config) withDefaults() Config {
@@ -183,7 +191,7 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 	for v := range s.init {
 		s.init[v] = v
 	}
-	eng := sim.NewEngineWith(g, sim.Options{Tracer: cfg.Tracer, Metrics: cfg.Metrics})
+	eng := sim.NewEngineWith(g, sim.Options{Tracer: cfg.Tracer, Metrics: cfg.Metrics, Faults: cfg.Faults})
 	phi, rep, err := oldc.SolveRobust(eng, s.input(), oldc.RobustOptions{
 		MaxRepairs: cfg.MaxRepairs, MaxSweeps: cfg.MaxSweeps,
 	})
@@ -395,7 +403,7 @@ func (s *Server) repair(rep *BatchReport) {
 			s.prev = append(s.prev, s.phi[v])
 		}
 		subStats, err := oldc.RepairRegion(in, s.phi, viol, oldc.RegionOptions{
-			Tracer: s.cfg.Tracer, Metrics: s.cfg.Metrics, Scratch: s.scratch,
+			Tracer: s.cfg.Tracer, Metrics: s.cfg.Metrics, Scratch: s.scratch, Faults: s.cfg.Faults,
 		})
 		s.stats = s.stats.Add(subStats)
 		rep.Rounds += subStats.Rounds

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ckpt"
+)
+
+// WALMagic is the header line that opens every serve write-ahead log.
+// Records follow as [u32 length][u32 CRC32-C][JSON-encoded []Mutation],
+// little-endian, one record per applied batch (format documented in
+// docs/RECOVERY.md).
+const WALMagic = "ldc-wal/v1\n"
+
+// maxWALRecord bounds a single record's declared length. Batches are
+// bounded by the HTTP layer (-max-batch) long before this; the limit
+// exists so a corrupt length field cannot drive a huge allocation.
+const maxWALRecord = 64 << 20
+
+// CorruptWALError reports damage in the interior of a write-ahead log —
+// a bad header, a failed record CRC, or undecodable JSON with intact
+// records after it. A damaged *final* record is not corruption: it is the
+// expected signature of a crash mid-append, and replayWAL truncates it
+// instead (torn-tail rule).
+type CorruptWALError struct {
+	Path   string // log file ("" for in-memory decodes)
+	Offset int64  // byte offset of the damaged record
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptWALError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("serve: corrupt WAL at byte %d: %s", e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("serve: corrupt WAL %s at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// walWriter appends mutation batches to a log file with batched fsync.
+type walWriter struct {
+	f         *os.File
+	syncEvery int // fsync cadence in records (≤1 = every record)
+	pending   int // records appended since the last fsync
+}
+
+// newWALWriter opens (creating or continuing) the log at path for
+// appending. A new file gets the header; an existing file must already
+// carry it and have exactly validLen valid bytes — the caller learns
+// validLen from replayWAL, and any torn tail beyond it is truncated here.
+func newWALWriter(path string, validLen int64, syncEvery int) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(WALMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if st.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, syncEvery: syncEvery}, nil
+}
+
+// append encodes one batch as a framed record, writes it, and fsyncs when
+// the cadence is due. It returns the record's on-disk size and whether
+// this append fsynced.
+func (w *walWriter) append(batch []Mutation) (int, bool, error) {
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		return 0, false, fmt.Errorf("serve: encode WAL record: %w", err)
+	}
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], ckpt.Checksum(payload))
+	copy(rec[8:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return 0, false, fmt.Errorf("serve: append WAL record: %w", err)
+	}
+	w.pending++
+	synced := false
+	if w.syncEvery <= 1 || w.pending >= w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return 0, false, fmt.Errorf("serve: fsync WAL: %w", err)
+		}
+		w.pending = 0
+		synced = true
+	}
+	return len(rec), synced, nil
+}
+
+// sync forces any batched records to disk.
+func (w *walWriter) sync() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.pending = 0
+	return nil
+}
+
+// close syncs and closes the log.
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL decodes every intact record of the log at path. It returns
+// the batches in append order and validLen, the byte length of the intact
+// prefix a continuing writer should truncate to.
+//
+// Damage is classified by position. A record that fails mid-file — with
+// intact data after it — is real corruption and returns a typed
+// *CorruptWALError alongside the intact prefix (so a degraded store can
+// still serve the history up to the damage), because replaying past it
+// would silently reorder history. A record that fails at the tail (its
+// declared extent reaches EOF, or its payload is torn) is the normal
+// residue of a crash between write and fsync: it is excluded from
+// validLen and the replay succeeds without it. A missing file replays as
+// empty.
+func replayWAL(path string) (batches [][]Mutation, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, int64(len(WALMagic)), nil
+		}
+		return nil, 0, err
+	}
+	if len(data) < len(WALMagic) {
+		if string(data) == WALMagic[:len(data)] {
+			// Torn during header write: treat as empty.
+			return nil, int64(len(WALMagic)), nil
+		}
+		return nil, 0, &CorruptWALError{Path: path, Offset: 0, Reason: "short or foreign header"}
+	}
+	if string(data[:len(WALMagic)]) != WALMagic {
+		return nil, 0, &CorruptWALError{Path: path, Offset: 0, Reason: fmt.Sprintf("bad header %q", data[:len(WALMagic)])}
+	}
+	pos := int64(len(WALMagic))
+	for pos < int64(len(data)) {
+		rest := data[pos:]
+		if len(rest) < 8 {
+			return batches, pos, nil // torn length/CRC prefix
+		}
+		ln := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if ln > maxWALRecord {
+			if pos+8+ln >= int64(len(data)) {
+				return batches, pos, nil
+			}
+			return batches, pos, &CorruptWALError{Path: path, Offset: pos, Reason: fmt.Sprintf("record length %d exceeds limit", ln)}
+		}
+		if int64(len(rest)) < 8+ln {
+			return batches, pos, nil // torn payload
+		}
+		payload := rest[8 : 8+ln]
+		atEOF := pos+8+ln == int64(len(data))
+		if ckpt.Checksum(payload) != crc {
+			if atEOF {
+				return batches, pos, nil
+			}
+			return batches, pos, &CorruptWALError{Path: path, Offset: pos, Reason: "record checksum mismatch"}
+		}
+		var batch []Mutation
+		if err := json.Unmarshal(payload, &batch); err != nil {
+			if atEOF {
+				return batches, pos, nil
+			}
+			return batches, pos, &CorruptWALError{Path: path, Offset: pos, Reason: fmt.Sprintf("undecodable record: %v", err)}
+		}
+		batches = append(batches, batch)
+		pos += 8 + ln
+	}
+	return batches, pos, nil
+}

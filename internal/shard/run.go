@@ -346,7 +346,18 @@ func (e *Engine) observeRound(round, active int, delivered, roundBits int64, rou
 // first violating wire (shards cover increasing sender ranges), and the
 // decode-fault counter drains exactly once per round after delivery.
 func (e *Engine) Run(alg sim.Algorithm, maxRounds int) (sim.Stats, error) {
-	var stats sim.Stats
+	return e.RunFrom(alg, 0, maxRounds, sim.Stats{})
+}
+
+// RunFrom executes alg exactly like Run but with the round clock starting
+// at startRound and prior merged as the statistics of already-executed
+// rounds — the sharded half of the sim.Resumable checkpoint contract (see
+// sim.Engine.RunFrom). Round boundaries carry no cross-round routing
+// state (the parity queues are per-round scratch, truncated at the top of
+// each route phase), so resuming at a boundary needs only the algorithm
+// state and the absolute clock.
+func (e *Engine) RunFrom(alg sim.Algorithm, startRound, maxRounds int, prior sim.Stats) (sim.Stats, error) {
+	stats := prior
 	e.curAlg = alg
 	e.observing = e.tracer != nil || e.metrics != nil
 	ledger := e.Faults != nil
@@ -374,7 +385,7 @@ func (e *Engine) Run(alg sim.Algorithm, maxRounds int) (sim.Stats, error) {
 	}
 	quiescent, canQuiesce := alg.(sim.Quiescent)
 	var runBoundary int64
-	for round := 0; round < maxRounds; round++ {
+	for round := startRound; round < maxRounds; round++ {
 		if alg.Done() {
 			return stats, nil
 		}
@@ -437,6 +448,13 @@ func (e *Engine) Run(alg sim.Algorithm, maxRounds int) (sim.Stats, error) {
 			}
 		}
 		stats.Rounds++
+		if h := e.afterRound; h != nil {
+			// Runs on the coordinator between rounds, after the deliver
+			// barrier — identical placement to the serial engine's hook.
+			if err := h(round, &stats); err != nil {
+				return stats, err
+			}
+		}
 		if delivered == 0 && canQuiesce && quiescent.Quiesced() {
 			return stats, nil
 		}

@@ -164,8 +164,9 @@ type Engine struct {
 	Fault     func(round, from, to int) bool
 	Faults    sim.FaultModel
 
-	tracer  obs.Tracer
-	metrics *obs.Registry
+	tracer     obs.Tracer
+	metrics    *obs.Registry
+	afterRound sim.RoundHook
 
 	decodeFaults atomic.Int64
 
@@ -390,6 +391,13 @@ func (e *Engine) Tracer() obs.Tracer { return e.tracer }
 
 // SetMetrics installs (or, with nil, removes) the metrics registry.
 func (e *Engine) SetMetrics(r *obs.Registry) { e.metrics = r }
+
+// SetAfterRound installs (or, with nil, removes) the between-rounds hook
+// (see sim.RoundHook); it runs on the coordinator after each round's
+// deliver barrier and accounting merge.
+func (e *Engine) SetAfterRound(h sim.RoundHook) { e.afterRound = h }
+
+var _ sim.Resumable = (*Engine)(nil)
 
 // Metrics returns the installed metrics registry (nil when metrics are
 // off).

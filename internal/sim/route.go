@@ -367,8 +367,19 @@ func (e *Engine) validateSends(round int, outboxes []Outbox) error {
 // (parallel over nodes). If alg implements Quiescent, a round that delivers
 // no messages may terminate the run early; see Quiescent.
 func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
+	return e.RunFrom(alg, 0, maxRounds, Stats{})
+}
+
+// RunFrom executes alg exactly like Run but with the round clock starting
+// at startRound and prior merged as the statistics of the already-executed
+// rounds. It is the resume half of the checkpoint contract (see
+// docs/RECOVERY.md): restoring a Snapshotter from a round-Checkpoint and
+// calling RunFrom(alg, ck.Round, maxRounds, ck.Stats) continues the run
+// with fault schedules, traces, and Stats aligned to the absolute round
+// clock, so the completed run is bit-identical to one that never stopped.
+func (e *Engine) RunFrom(alg Algorithm, startRound, maxRounds int, prior Stats) (Stats, error) {
 	n := e.g.N()
-	var stats Stats
+	stats := prior
 	outboxes := make([]Outbox, n)
 	rt := newRouter(e, n)
 	quiescent, canQuiesce := alg.(Quiescent)
@@ -377,7 +388,7 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 	if ledger || observing {
 		e.decodeFaults.Store(0)
 	}
-	for round := 0; round < maxRounds; round++ {
+	for round := startRound; round < maxRounds; round++ {
 		if alg.Done() {
 			return stats, nil
 		}
@@ -419,6 +430,14 @@ func (e *Engine) Run(alg Algorithm, maxRounds int) (Stats, error) {
 			}
 		}
 		stats.Rounds++
+		if h := e.afterRound; h != nil {
+			// The hook observes the round fully merged into stats; its error
+			// (checkpoint write failure, injected kill) aborts the run with
+			// the accounting so far.
+			if err := h(round, &stats); err != nil {
+				return stats, err
+			}
+		}
 		if delivered == 0 && canQuiesce && quiescent.Quiesced() {
 			return stats, nil
 		}

@@ -18,6 +18,22 @@ type Runner interface {
 
 var _ Runner = (*Engine)(nil)
 
+// Resumable is a Runner that supports crash-recovery: resuming a run from
+// a round boundary with an absolute round clock and prior statistics, and
+// between-round hooks for checkpoint writers and kill schedules. Both
+// *Engine and the sharded engine implement it; cmd/ldc-run's supervisor
+// drives either through this interface.
+type Resumable interface {
+	Runner
+	// RunFrom executes alg with the round clock starting at startRound and
+	// prior merged as already-executed statistics (see Engine.RunFrom).
+	RunFrom(alg Algorithm, startRound, maxRounds int, prior Stats) (Stats, error)
+	// SetAfterRound installs the between-rounds hook (see RoundHook).
+	SetAfterRound(h RoundHook)
+}
+
+var _ Resumable = (*Engine)(nil)
+
 // The accessors below expose just enough of Outbox for an external routing
 // engine to drive the same collection type algorithms already write into.
 // They are read-only except ResetFor; the send fast paths stay untouched.

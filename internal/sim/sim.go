@@ -237,6 +237,9 @@ type Engine struct {
 	// metrics receives the engine's counter/gauge/histogram updates
 	// (rounds, messages, bits, fault ledger). nil disables metrics.
 	metrics *obs.Registry
+	// afterRound runs between rounds after each round's accounting is
+	// merged (see RoundHook); nil keeps the loop on the hook-free path.
+	afterRound RoundHook
 
 	// decodeFaults counts ReportDecodeFault calls during the current
 	// round's Inbox phase; the engine drains it into the ledger.
@@ -282,6 +285,11 @@ func NewEngineWith(g *graph.Graph, opts Options) *Engine {
 	e.metrics = opts.Metrics
 	return e
 }
+
+// SetAfterRound installs (or, with nil, removes) the engine's between-
+// rounds hook: checkpoint writers and chaos kill schedules chain through
+// it (see RoundHook and ChainHooks).
+func (e *Engine) SetAfterRound(h RoundHook) { e.afterRound = h }
 
 // SetTracer installs (or, with nil, removes) the engine's round tracer.
 // Multi-phase solvers use it to propagate observability onto the fresh
