@@ -40,6 +40,8 @@ func run() int {
 	recoverybench := flag.String("recoverybench", "", "run the crash-recovery suite (supervised kill/resume + durable-store WAL replay) and write machine-readable JSON to this path ('-' for stdout), then exit")
 	shardbench := flag.String("shardbench", "", "run the sharded-engine scaling curve and the large streamed power-law solve, write machine-readable JSON to this path ('-' for stdout), then exit")
 	shardSolveOut := flag.String("shardsolve-out", "", "with -shardbench: also write the big run's instance+coloring as an ldc-verify document to this path")
+	matrixbench := flag.String("matrixbench", "", "run the cross-family who-wins matrix (oldc, fk24, maus21, delta1, degluby across Δ columns) and write machine-readable JSON to this path ('-' for stdout), then exit; honors -quick")
+	matrixDocs := flag.String("matrix-docs", "", "with -matrixbench: also write one ldc-verify document per matrix row into this directory")
 	tracePath := flag.String("trace", "", "run the canonical traced Δ=64 solve, write its ldc-trace/v1 JSONL to this path ('-' for stdout), verify reconciliation, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -127,6 +129,18 @@ func run() int {
 		}
 		if err := rep.WriteJSON(*recoverybench); err != nil {
 			fmt.Fprintf(os.Stderr, "recoverybench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *matrixbench != "" {
+		rep, err := bench.RunMatrixBench(*quick, *matrixDocs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matrixbench: %v\n", err)
+			return 1
+		}
+		if err := rep.WriteJSON(*matrixbench); err != nil {
+			fmt.Fprintf(os.Stderr, "matrixbench: %v\n", err)
 			return 1
 		}
 		return 0

@@ -12,6 +12,9 @@
 //	ldc-run -graph pa -n 100000 -deg 3 -algo luby -shards 8
 //	ldc-run -algo oldc -chaos drop:0.1+flip:0.01 -repair
 //	ldc-run -algo degluby -chaos kill:3+kill:9 -ckpt run.ckpt  # killed twice, resumed twice
+//	ldc-run -algo oldc -chaos kill:2 -ckpt run.ckpt -trace run.jsonl
+//	ldc-run -graph regular -n 256 -deg 8 -algo fk24 -buckets 18
+//	ldc-run -graph regular -n 512 -deg 8 -algo maus21 -k 2
 //	ldc-run -algo oldc -trace run.jsonl          # then: ldc-trace run.jsonl
 //	ldc-run -algo delta1 -cpuprofile cpu.out
 //
@@ -35,12 +38,15 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/algkit"
 	"repro/internal/baseline"
 	"repro/internal/chaos"
 	"repro/internal/coloring"
 	"repro/internal/congest"
+	"repro/internal/fk24"
 	"repro/internal/graph"
 	"repro/internal/linial"
+	"repro/internal/maus21"
 	"repro/internal/mis"
 	"repro/internal/obs"
 	"repro/internal/oldc"
@@ -123,14 +129,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		dim    = fs.Int("dim", 6, "dimension for hypercube")
 		radius = fs.Float64("radius", 0.15, "radius for geometric")
 		seed   = fs.Int64("seed", 1, "generator seed")
-		algo   = fs.String("algo", "delta1", "delta1|linear|slow|luby|degluby|greedy|mis|mis-luby|oldc")
-		shards = fs.Int("shards", 1, "route rounds through this many contiguous shards (luby and degluby only)")
-		kappa  = fs.Float64("kappa", 5.0, "square-sum slack for -algo oldc")
-		spec   = fs.String("chaos", "", "fault schedule: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2; wire faults need -algo oldc, kill:/killshard: terms need -algo degluby with -ckpt")
-		repair = fs.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
-		asJSON = fs.Bool("json", false, "emit the full result as JSON")
+		algo    = fs.String("algo", "delta1", "delta1|linear|slow|luby|degluby|greedy|mis|mis-luby|oldc|fk24|maus21")
+		shards  = fs.Int("shards", 1, "route rounds through this many contiguous shards (luby, degluby, fk24, maus21)")
+		kappa   = fs.Float64("kappa", 5.0, "square-sum slack for -algo oldc/fk24")
+		buckets = fs.Int("buckets", 0, "commit buckets for -algo fk24 (0 = default 2β̂+2; m = fully sequential)")
+		kknob   = fs.Int("k", 0, "palette knob for -algo maus21: target O(kΔ) colors (0 = plain Linial)")
+		spec    = fs.String("chaos", "", "fault schedule: a built-in name (see internal/chaos) or a spec like drop:0.1+flip:0.01+crash:3@2; wire faults need -algo oldc or fk24, kill:/killshard: terms need -algo degluby or oldc with -ckpt")
+		repair  = fs.Bool("repair", false, "detect-and-repair solving for -algo oldc (oldc.SolveRobust)")
+		asJSON  = fs.Bool("json", false, "emit the full result as JSON")
 
-		ckptPath    = fs.String("ckpt", "", "checkpoint file for -algo degluby: written at round boundaries, resumed from when it already exists")
+		ckptPath    = fs.String("ckpt", "", "checkpoint file for -algo degluby or oldc: written at round boundaries, resumed from when it already exists")
 		ckptEvery   = fs.Int("ckpt-every", 1, "checkpoint cadence in rounds for -ckpt")
 		maxRestarts = fs.Int("max-restarts", 5, "restarts allowed after injected kills (-chaos kill:/killshard:) before giving up")
 
@@ -201,21 +209,29 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	switch {
 	case *repair && *algo != "oldc":
 		fatalf(2, "-repair only applies to -algo oldc")
-	case *spec != "" && *algo != "oldc" && *algo != "degluby":
-		fatalf(2, "-chaos applies to -algo oldc (wire faults) or -algo degluby (kill schedules); the other algorithms have no hardened decode paths")
-	case plan != nil && len(plan.Kills) > 0 && *algo != "degluby":
-		fatalf(2, "kill:/killshard: terms need a resumable algorithm: use -algo degluby with -ckpt")
+	case *spec != "" && *algo != "oldc" && *algo != "degluby" && *algo != "fk24":
+		fatalf(2, "-chaos applies to -algo oldc/fk24 (wire faults) or -algo degluby/oldc (kill schedules); the other algorithms have no hardened decode paths")
+	case plan != nil && len(plan.Kills) > 0 && *algo != "degluby" && *algo != "oldc":
+		fatalf(2, "kill:/killshard: terms need a resumable algorithm: use -algo degluby or oldc with -ckpt")
 	case plan != nil && len(plan.Kills) > 0 && *ckptPath == "":
 		fatalf(2, "kill:/killshard: terms need -ckpt so restarted attempts can resume from a checkpoint")
 	case plan != nil && len(plan.Kills) > 0 && *tracePath == "-":
 		fatalf(2, "kill schedules need -trace to name a real file (not '-') so replayed rounds can be truncated on resume")
 	case plan != nil && plan.Corrupting && *algo == "degluby":
 		fatalf(2, "flip terms are not supported for -algo degluby (its decoder is not hardened against corrupted payloads)")
-	case *ckptPath != "" && *algo != "degluby":
-		fatalf(2, "-ckpt only applies to -algo degluby (the only ldc-run algorithm that snapshots its state)")
+	case *ckptPath != "" && *algo != "degluby" && *algo != "oldc":
+		fatalf(2, "-ckpt applies to -algo degluby or oldc (the algorithms that snapshot their state)")
+	case *ckptPath != "" && *repair:
+		fatalf(2, "-ckpt and -repair are mutually exclusive (the repair pipeline has no snapshotter)")
+	case *ckptPath != "" && *algo == "oldc" && *shards > 1:
+		fatalf(2, "-ckpt for -algo oldc needs the serial engine (drop -shards)")
 	}
-	if *shards > 1 && *algo != "luby" && *algo != "degluby" {
-		fatalf(2, "-shards only applies to -algo luby or degluby (the other algorithms are written against the serial engine)")
+	if *shards > 1 {
+		switch *algo {
+		case "luby", "degluby", "fk24", "maus21":
+		default:
+			fatalf(2, "-shards only applies to -algo luby, degluby, fk24, or maus21 (the other algorithms are written against the serial engine)")
+		}
 	}
 
 	// engineOpts carries the observers into every engine this command
@@ -333,9 +349,27 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			simOpts.Faults = plan.Model
 			out.ChaosSpec = *spec
 		}
-		eng := sim.NewEngineWith(g, simOpts)
 		var runStats sim.Stats
-		if *repair {
+		if *ckptPath != "" {
+			phi, stats, restarts, err := superviseOldc(superviseConfig{
+				g:           g,
+				seed:        *seed,
+				plan:        plan,
+				path:        *ckptPath,
+				every:       *ckptEvery,
+				maxRestarts: *maxRestarts,
+				traceFile:   traceFile,
+				tracer:      tracer,
+				reg:         reg,
+				stderr:      stderr,
+			}, func() *sim.Engine { return sim.NewEngineWith(g, simOpts) }, in, oldc.Options{SkipValidate: *spec != ""})
+			die(err)
+			fill(&out, stats, phi)
+			runStats = stats
+			out.Restarts = restarts
+			out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
+		} else if *repair {
+			eng := sim.NewEngineWith(g, simOpts)
 			phi, rep, err := oldc.SolveRobust(eng, in, oldc.RobustOptions{})
 			var res *oldc.ErrResidual
 			if err != nil && !errors.As(err, &res) {
@@ -354,6 +388,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				out.ResidualBad = res.Violators
 			}
 		} else {
+			eng := sim.NewEngineWith(g, simOpts)
 			solveOpts := oldc.Options{SkipValidate: *spec != ""} // a faulty run may legitimately violate
 			phi, stats, err := oldc.Solve(eng, in, solveOpts)
 			die(err)
@@ -367,6 +402,36 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		out.Corrupted = total.Corrupted
 		out.DecodeFaults = total.DecodeFaults
 		out.KappaUsed = *kappa
+	case "fk24":
+		o := graph.OrientByID(g)
+		// Same fault-free, untraced Linial substrate as -algo oldc: the
+		// chaos harness and the tracer target the committing phase only.
+		init, m, _, err := linial.Proper(sim.NewEngine(g), graph.OrientSymmetric(g), linial.IDs(g.N()), g.N())
+		die(err)
+		inst := coloring.SquareSumOrientedRange(o, 4096, *kappa, 1, 3, *seed)
+		in := fk24.Input{O: o, SpaceSize: 4096, Lists: inst.Lists, InitColors: init, M: m}
+		simOpts := engineOpts
+		if plan != nil {
+			simOpts.Faults = plan.Model
+			out.ChaosSpec = *spec
+		}
+		phi, stats, err := fk24.Solve(algRunnerFor(g, *shards, simOpts), in,
+			fk24.Options{Buckets: *buckets, SkipValidate: *spec != ""})
+		die(err)
+		fill(&out, stats, phi)
+		traceStats = stats
+		out.Valid = coloring.CheckOLDC(o, in.Lists, phi) == nil
+		total := stats.TotalFaults()
+		out.Dropped = total.Dropped
+		out.Corrupted = total.Corrupted
+		out.DecodeFaults = total.DecodeFaults
+		out.KappaUsed = *kappa
+	case "maus21":
+		phi, colors, stats, err := maus21.Solve(algRunnerFor(g, *shards, engineOpts), g, maus21.Options{K: *kknob})
+		die(err)
+		fill(&out, stats, phi)
+		traceStats = stats
+		out.Valid = coloring.CheckProper(g, phi, colors) == nil
 	default:
 		fatalf(2, "unknown algorithm %q", *algo)
 	}
@@ -442,6 +507,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // affects routing locality. Both are sim.Resumable, which is what lets
 // the -ckpt supervisor resume either from a round-boundary checkpoint.
 func runnerFor(g *graph.Graph, shards int, opts sim.Options) sim.Resumable {
+	if shards <= 1 {
+		return sim.NewEngineWith(g, opts)
+	}
+	return shard.FromGraph(g, shard.Options{
+		Shards:  shards,
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
+		Faults:  opts.Faults,
+	})
+}
+
+// algRunnerFor is runnerFor narrowed to the algkit.Runner interface the
+// fk24/maus21 solvers take: the same two engines, with the tracer exposed
+// so the solvers can emit their own phase events.
+func algRunnerFor(g *graph.Graph, shards int, opts sim.Options) algkit.Runner {
 	if shards <= 1 {
 		return sim.NewEngineWith(g, opts)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/oldc"
 	"repro/internal/sim"
 )
 
@@ -145,6 +146,105 @@ func superviseDegluby(c superviseConfig) (coloring.Assignment, sim.Stats, int, e
 		}
 		phi, stats = alg.Colors(), s
 		return nil
+	})
+	return phi, stats, restarts, err
+}
+
+// superviseOldc runs the oldc two-phase solve under the same
+// checkpoint/restart supervisor as superviseDegluby. Every attempt re-runs
+// oldc.PrepareSolve (the case analysis plus the auxiliary class solve are
+// deterministic, so each attempt rebuilds identical state) and then either
+// starts the two-phase stage fresh or restores it from the checkpoint.
+//
+// The trace bookkeeping is order-sensitive: preparation itself emits trace
+// events. A fresh attempt must rewind to baseOffset *before* preparing, or
+// the truncation would delete the events preparation just wrote; a resumed
+// attempt must prepare first and rewind to the checkpoint's offset
+// *afterwards*, which truncates exactly the duplicate preparation events
+// (the original attempt's copy sits before ck.TraceOffset). Either way the
+// final trace is byte-identical to an uninterrupted run's.
+//
+// Kill hooks are installed only for the two-phase RunFrom, so a -chaos
+// kill:R schedule counts two-phase rounds and never interrupts the
+// (unsupervisable) auxiliary solve.
+func superviseOldc(c superviseConfig, newEngine func() *sim.Engine, in oldc.Input, opts oldc.Options) (coloring.Assignment, sim.Stats, int, error) {
+	baseOffset := int64(-1)
+	if c.traceFile != nil {
+		if err := c.tracer.Flush(); err != nil {
+			return nil, sim.Stats{}, 0, err
+		}
+		off, err := c.traceFile.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return nil, sim.Stats{}, 0, err
+		}
+		baseOffset = off
+	}
+	ckp := &sim.Checkpointer{Path: c.path, Every: c.every, Metrics: c.reg}
+	if c.traceFile != nil {
+		ckp.TraceSync = func() (int64, error) {
+			if err := c.tracer.Flush(); err != nil {
+				return 0, err
+			}
+			return c.traceFile.Seek(0, io.SeekCurrent)
+		}
+	}
+	var killHook sim.RoundHook
+	if c.plan != nil {
+		killHook = c.plan.KillHook()
+	}
+	var (
+		phi      coloring.Assignment
+		stats    sim.Stats
+		restarts int
+	)
+	err := chaos.Supervise(chaos.SuperviseOptions{
+		MaxRestarts: c.maxRestarts,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		OnRestart: func(restart int, cause *chaos.KillError, backoff time.Duration) {
+			restarts = restart
+			fmt.Fprintf(c.stderr, "ldc-run: %v; restart %d after %v\n", cause, restart, backoff)
+		},
+	}, func(attempt int) error {
+		ck, ckErr := sim.ReadCheckpoint(c.path)
+		fresh := false
+		switch {
+		case ckErr == nil:
+		case os.IsNotExist(ckErr):
+			fresh = true
+			if terr := c.rewindTrace(baseOffset); terr != nil {
+				return terr
+			}
+		default:
+			return ckErr
+		}
+		eng := newEngine()
+		prep, err := oldc.PrepareSolve(eng, in, opts)
+		if err != nil {
+			return err
+		}
+		alg := prep.Algorithm()
+		start, prior := 0, prep.PrepStats()
+		if !fresh {
+			if rerr := ck.Restore(alg); rerr != nil {
+				return fmt.Errorf("restore checkpoint %s: %w", c.path, rerr)
+			}
+			if terr := c.rewindTrace(ck.TraceOffset); terr != nil {
+				return terr
+			}
+			start, prior = ck.Round, ck.Stats
+			if c.reg != nil {
+				c.reg.Counter(obs.MetricCkptRestores).Add(1)
+			}
+			fmt.Fprintf(c.stderr, "ldc-run: resuming from %s at round %d\n", c.path, ck.Round)
+		}
+		eng.SetAfterRound(sim.ChainHooks(ckp.Hook(alg), killHook))
+		s, err := eng.RunFrom(alg, start, prep.MaxRounds(), prior)
+		if err != nil {
+			return err
+		}
+		phi, stats, err = prep.Finish(s)
+		return err
 	})
 	return phi, stats, restarts, err
 }

@@ -116,6 +116,83 @@ func TestCrossProcessResume(t *testing.T) {
 	}
 }
 
+var oldcArgs = []string{"-graph", "regular", "-n", "96", "-deg", "8", "-algo", "oldc"}
+
+// TestOldcKillResumeMatchesUninterrupted is the oldc counterpart of
+// TestKillResumeMatchesUninterrupted: the two-phase solve killed
+// mid-flight and resumed from its checkpoint must reproduce the
+// uninterrupted run exactly — coloring, stats ledger, and the JSONL trace
+// byte for byte (including the re-prepared class-selection phase events,
+// which the supervisor truncates back out of the trace on resume).
+func TestOldcKillResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	baseTrace := filepath.Join(dir, "base.jsonl")
+	base, code := runJSON(t, append(oldcArgs, "-trace", baseTrace)...)
+	if code != 0 {
+		t.Fatalf("baseline run exit %d", code)
+	}
+
+	killTrace := filepath.Join(dir, "kill.jsonl")
+	killed, code := runJSON(t, append(oldcArgs,
+		"-chaos", "kill:2+kill:4", "-ckpt", filepath.Join(dir, "run.ckpt"), "-trace", killTrace)...)
+	if code != 0 {
+		t.Fatalf("killed run exit %d", code)
+	}
+	if killed.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", killed.Restarts)
+	}
+	if killed.Rounds != base.Rounds || killed.Messages != base.Messages || killed.TotalBits != base.TotalBits {
+		t.Fatalf("killed run stats diverge: %d/%d/%d vs %d/%d/%d",
+			killed.Rounds, killed.Messages, killed.TotalBits, base.Rounds, base.Messages, base.TotalBits)
+	}
+	if !killed.Valid {
+		t.Fatal("killed run produced an invalid coloring")
+	}
+	for v := range base.Coloring {
+		if killed.Coloring[v] != base.Coloring[v] {
+			t.Fatalf("node %d colored %d after resume, %d uninterrupted", v, killed.Coloring[v], base.Coloring[v])
+		}
+	}
+	got, err := os.ReadFile(killTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(baseTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed trace is not byte-identical to the uninterrupted trace (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestOldcCrossProcessResume kills an oldc run with no restart budget and
+// resumes it in a second independent invocation pointed at the same -ckpt.
+func TestOldcCrossProcessResume(t *testing.T) {
+	base, code := runJSON(t, oldcArgs...)
+	if code != 0 {
+		t.Fatalf("baseline run exit %d", code)
+	}
+	ckpt := filepath.Join(t.TempDir(), "crash.ckpt")
+	if _, code := runJSON(t, append(oldcArgs,
+		"-chaos", "kill:3", "-ckpt", ckpt, "-max-restarts", "0")...); code != 1 {
+		t.Fatalf("unsupervised kill exit %d, want 1", code)
+	}
+	resumed, code := runJSON(t, append(oldcArgs, "-ckpt", ckpt)...)
+	if code != 0 {
+		t.Fatalf("resume run exit %d", code)
+	}
+	if resumed.Rounds != base.Rounds || resumed.Messages != base.Messages {
+		t.Fatalf("resumed stats diverge: %d/%d vs %d/%d",
+			resumed.Rounds, resumed.Messages, base.Rounds, base.Messages)
+	}
+	for v := range base.Coloring {
+		if resumed.Coloring[v] != base.Coloring[v] {
+			t.Fatalf("node %d colored %d after cross-process resume, %d baseline", v, resumed.Coloring[v], base.Coloring[v])
+		}
+	}
+}
+
 // TestSuperviseUsageErrors pins the exit-2 contract for the flag
 // combinations the supervisor refuses.
 func TestSuperviseUsageErrors(t *testing.T) {
@@ -125,8 +202,11 @@ func TestSuperviseUsageErrors(t *testing.T) {
 		args []string
 	}{
 		{"kill without ckpt", append(deglubyArgs, "-chaos", "kill:3")},
-		{"kill with oldc", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc", "-chaos", "kill:3"}},
+		{"kill with oldc without ckpt", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc", "-chaos", "kill:3"}},
 		{"kill with luby", []string{"-graph", "ring", "-n", "16", "-algo", "luby", "-chaos", "kill:3"}},
+		{"ckpt with repair", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc", "-ckpt", ckpt, "-repair"}},
+		{"ckpt oldc with shards", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "oldc", "-ckpt", ckpt, "-shards", "2"}},
+		{"chaos with maus21", []string{"-graph", "regular", "-n", "32", "-deg", "6", "-algo", "maus21", "-chaos", "drop-10pct"}},
 		{"flip with degluby", append(deglubyArgs, "-chaos", "flip-1pct")},
 		{"storm with degluby", append(deglubyArgs, "-chaos", "storm", "-ckpt", ckpt)},
 		{"ckpt with luby", []string{"-graph", "ring", "-n", "16", "-algo", "luby", "-ckpt", ckpt}},

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMatrixBenchQuick runs the who-wins matrix in quick mode: every
+// family must produce a validated row for every Δ column, and the emitted
+// ldc-verify documents must exist and be non-empty.
+func TestMatrixBenchQuick(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := RunMatrixBench(true, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "ldc-matrix-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	families := make(map[string]bool)
+	wantRows := len(matrixFamilies()) * len(matrixCases(true))
+	if len(rep.Entries) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Entries), wantRows)
+	}
+	for _, row := range rep.Entries {
+		families[row.Family] = true
+		if !row.Valid {
+			t.Errorf("%s/%s Δ=%d marked invalid", row.Family, row.Knob, row.Delta)
+		}
+		if row.Rounds <= 0 || row.Messages <= 0 {
+			t.Errorf("%s/%s Δ=%d has empty stats: %+v", row.Family, row.Knob, row.Delta, row)
+		}
+		if row.Doc == "" {
+			t.Errorf("%s/%s Δ=%d missing verify doc", row.Family, row.Knob, row.Delta)
+			continue
+		}
+		st, err := os.Stat(filepath.Join(dir, row.Doc))
+		if err != nil || st.Size() == 0 {
+			t.Errorf("verify doc %s missing or empty (%v)", row.Doc, err)
+		}
+	}
+	if len(families) < 4 {
+		t.Fatalf("only %d families measured, want >= 4", len(families))
+	}
+}

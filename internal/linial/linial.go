@@ -61,6 +61,7 @@ func (s Schedule) Rounds() int { return len(s.Steps) }
 type reduceAlg struct {
 	o        *graph.Oriented
 	sched    Schedule
+	class    []int // when non-nil, only same-class neighbors are opponents
 	colors   []int
 	next     []int
 	m        int // current color bound
@@ -108,11 +109,21 @@ func (a *reduceAlg) Inbox(v int, in []sim.Received) {
 	q := sp.q
 	sc := reduceScratchPool.Get().(*reduceScratch)
 	sc.gf.init(sp)
-	// Collect out-neighbor colors (messages arrive from all neighbors).
+	// Collect out-neighbor colors (messages arrive from all neighbors). A
+	// payload that is not a clean UintPayload — e.g. corrupted in transit —
+	// is skipped: a missing opponent can only make the argmin pick a point
+	// with an unnoticed collision, which the validation after the run
+	// catches; it can never panic the reduction.
 	sc.out = sc.out[:0]
 	for _, msg := range in {
-		if a.o.HasArc(v, msg.From) {
-			sc.out = append(sc.out, int(msg.Payload.(sim.UintPayload).Value))
+		if !a.o.HasArc(v, msg.From) {
+			continue
+		}
+		if a.class != nil && a.class[msg.From] != a.class[v] {
+			continue
+		}
+		if pay, ok := msg.Payload.(sim.UintPayload); ok {
+			sc.out = append(sc.out, int(pay.Value))
 		}
 	}
 	c := a.colors[v]
@@ -167,14 +178,15 @@ func (a *reduceAlg) Done() bool {
 
 // Proper computes a proper coloring with at most (smallest prime > 2β)²
 // colors, starting from the given proper m-coloring (e.g. unique ids), in
-// Schedule.Rounds() = O(log* m) communication rounds.
-func Proper(eng *sim.Engine, o *graph.Oriented, init []int, m int) ([]int, int, sim.Stats, error) {
+// Schedule.Rounds() = O(log* m) communication rounds. It runs on any
+// sim.Runner — the serial engine or the sharded one.
+func Proper(r sim.Runner, o *graph.Oriented, init []int, m int) ([]int, int, sim.Stats, error) {
 	sched := ProperSchedule(m, o.MaxOutDegree())
 	if len(sched.Steps) == 0 {
 		return append([]int(nil), init...), m, sim.Stats{}, nil
 	}
 	alg := newReduceAlg(o, init, m, sched)
-	stats, err := eng.Run(alg, sched.Rounds()+2)
+	stats, err := r.Run(alg, sched.Rounds()+2)
 	if err != nil {
 		return nil, 0, stats, err
 	}
@@ -188,18 +200,50 @@ func Proper(eng *sim.Engine, o *graph.Oriented, init []int, m int) ([]int, int, 
 
 // Defective computes a d-defective (w.r.t. out-neighbors) coloring with
 // O((β·D/(d+1))²) colors in O(log* m) rounds [Kuh09].
-func Defective(eng *sim.Engine, o *graph.Oriented, init []int, m, d int) ([]int, int, sim.Stats, error) {
+func Defective(r sim.Runner, o *graph.Oriented, init []int, m, d int) ([]int, int, sim.Stats, error) {
 	sched := DefectiveSchedule(m, o.MaxOutDegree(), d)
 	if len(sched.Steps) == 0 {
 		return append([]int(nil), init...), m, sim.Stats{}, nil
 	}
 	alg := newReduceAlg(o, init, m, sched)
-	stats, err := eng.Run(alg, sched.Rounds()+2)
+	stats, err := r.Run(alg, sched.Rounds()+2)
 	if err != nil {
 		return nil, 0, stats, err
 	}
 	if err := coloring.CheckOrientedDefective(o, alg.colors, sched.Final, d); err != nil {
 		return nil, 0, stats, fmt.Errorf("linial: defective output invalid: %w", err)
+	}
+	return alg.colors, sched.Final, stats, nil
+}
+
+// ProperWithin computes a coloring that is proper within every class:
+// adjacent nodes of equal class end up with different colors, while arcs
+// crossing class boundaries are unconstrained. beta must bound the
+// *same-class* out-degree of every node; the output uses at most (smallest
+// prime > 2β)² colors after O(log* m) rounds. This is the restricted
+// reduction Maus's coloring algorithm runs inside each defect class, where
+// beta = d ≪ Δ keeps the intra-class palette small.
+func ProperWithin(r sim.Runner, o *graph.Oriented, class, init []int, m, beta int) ([]int, int, sim.Stats, error) {
+	sched := ProperSchedule(m, beta)
+	if len(sched.Steps) == 0 {
+		return append([]int(nil), init...), m, sim.Stats{}, nil
+	}
+	alg := newReduceAlg(o, init, m, sched)
+	alg.class = class
+	stats, err := r.Run(alg, sched.Rounds()+2)
+	if err != nil {
+		return nil, 0, stats, err
+	}
+	for v := 0; v < o.N(); v++ {
+		c := alg.colors[v]
+		if c < 0 || c >= sched.Final {
+			return nil, 0, stats, fmt.Errorf("linial: node %d color %d outside [0,%d)", v, c, sched.Final)
+		}
+		for _, u := range o.Out(v) {
+			if class[v] == class[u] && c == alg.colors[u] {
+				return nil, 0, stats, fmt.Errorf("linial: nodes %d and %d share class %d and color %d", v, u, class[v], c)
+			}
+		}
 	}
 	return alg.colors, sched.Final, stats, nil
 }

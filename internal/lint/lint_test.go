@@ -13,10 +13,13 @@ import (
 // binaries).
 var docCheckedPackages = []string{
 	"../sim",
+	"../algkit",
 	"../cover",
 	"../chaos",
 	"../ckpt",
 	"../oldc",
+	"../fk24",
+	"../maus21",
 	"../obs",
 	"../serve",
 	"../shard",

@@ -30,7 +30,7 @@ var _ sim.Snapshotter = (*twoPhaseAlg)(nil)
 // SnapshotState implements sim.Snapshotter.
 func (a *twoPhaseAlg) SnapshotState(e *ckpt.Encoder) {
 	n := a.spec.o.N()
-	arcs := a.csr.arcs()
+	arcs := a.csr.Arcs()
 	e.Int(n)
 	e.Int(arcs)
 	e.Int(a.round)
@@ -73,7 +73,7 @@ func (a *twoPhaseAlg) SnapshotState(e *ckpt.Encoder) {
 // corrupting the solve.
 func (a *twoPhaseAlg) RestoreState(d *ckpt.Decoder) error {
 	n := a.spec.o.N()
-	arcs := a.csr.arcs()
+	arcs := a.csr.Arcs()
 	if gotN, gotArcs := d.Int(), d.Int(); gotN != n || gotArcs != arcs {
 		return fmt.Errorf("oldc: checkpoint is for %d nodes/%d arcs, instance has %d/%d", gotN, gotArcs, n, arcs)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/algkit"
 	"repro/internal/bitio"
 	"repro/internal/coloring"
 	"repro/internal/cover"
@@ -234,9 +235,9 @@ type analyzePart struct {
 // views held by classSelection — are bump-allocated from shared backing
 // slices instead of per-node allocations.
 type analyzeScratch struct {
-	parts  []analyzePart // indexed by μ ∈ [1, h]; reused per node
-	mu     []uint8       // per list position; reused per node
-	colors []int         // arena: candidate color lists (persist)
+	parts  []analyzePart    // indexed by μ ∈ [1, h]; reused per node
+	mu     []uint8          // per list position; reused per node
+	colors []int            // arena: candidate color lists (persist)
 	cands  []classCandidate // arena: candidate records (persist)
 }
 
@@ -276,7 +277,7 @@ func analyzeNodeInto(sc *analyzeScratch, beta int, l coloring.NodeList, h, hPrim
 	if l.Len() == 0 {
 		return classSelection{}, fmt.Errorf("empty color list")
 	}
-	betaHat := nextPow2(beta)
+	betaHat := algkit.NextPow2(beta)
 	rv := float64(alpha) * float64(betaHat) * float64(betaHat) * float64(tauBar) * float64(hPrime) * float64(hPrime)
 	// Partition the list into L_{v,μ}: first assign scales and tally the
 	// parts, then scatter the colors into per-part views of the arena.
@@ -447,7 +448,7 @@ func sortInts(a []int) {
 // candidate sets before deriving their own candidate family.
 //
 // Like basicAlg, per-neighbor state is flat and indexed by out-neighbor
-// position (outCSR), and families flow through the shared cover.FamilyCache
+// position (algkit.OutCSR), and families flow through the shared cover.FamilyCache
 // with the packed column-mask form the batched conflict kernel consumes.
 // Bad-color-removal output lives in one pre-sized per-solve arena (listBuf)
 // carved into disjoint per-node regions, so the concurrent Outbox callbacks
@@ -456,7 +457,7 @@ type twoPhaseAlg struct {
 	spec    basicSpec
 	sink    faultReporter      // decode-fault ledger (the engine); may be nil
 	cache   *cover.FamilyCache // nil when spec.noCache
-	csr     outCSR
+	csr     algkit.OutCSR
 	curList [][]int // list after bad-color removal (set at the class round)
 	listBuf []int   // arena backing curList; node v owns listOff[v]:listOff[v+1]
 	listOff []int32
@@ -479,7 +480,7 @@ type twoPhaseAlg struct {
 
 func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 	n := spec.o.N()
-	csr := newOutCSR(spec.o)
+	csr := algkit.NewOutCSR(spec.o)
 	a := &twoPhaseAlg{
 		spec:     spec,
 		csr:      csr,
@@ -488,11 +489,11 @@ func newTwoPhase(spec basicSpec) *twoPhaseAlg {
 		ownK:     make([]*cover.CachedFamily, n),
 		cv:       make([][]int, n),
 		cvIdx:    make([]int, n),
-		nbrType:  make([]typeInfo, csr.arcs()),
-		nbrFam:   make([]*cover.CachedFamily, csr.arcs()),
-		nbrCv:    make([][]int, csr.arcs()),
-		nbrCvIdx: make([]int32, csr.arcs()),
-		nbrColor: make([]int32, csr.arcs()),
+		nbrType:  make([]typeInfo, csr.Arcs()),
+		nbrFam:   make([]*cover.CachedFamily, csr.Arcs()),
+		nbrCv:    make([][]int, csr.Arcs()),
+		nbrCvIdx: make([]int32, csr.Arcs()),
+		nbrColor: make([]int32, csr.Arcs()),
 		phi:      make([]int, n),
 		pickedAt: make([]int, n),
 	}
@@ -573,15 +574,15 @@ func (a *twoPhaseAlg) Outbox(v int, out *sim.Outbox) {
 func (a *twoPhaseAlg) removeBadColors(v int) []int {
 	lst := a.spec.lists[v]
 	class := a.spec.gclass[v]
-	sc := getScratch()
-	cnt := grow32(sc.cnt, len(lst))
-	sc.cnt = cnt
-	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+	sc := algkit.GetScratch()
+	cnt := algkit.Grow32(sc.Cnt, len(lst))
+	sc.Cnt = cnt
+	for p := a.csr.Off[v]; p < a.csr.Off[v+1]; p++ {
 		if a.nbrCv[p] == nil || a.nbrType[p].gclass >= class {
 			continue
 		}
 		for _, x := range a.nbrCv[p] {
-			countWindow(cnt, lst, x, 0)
+			algkit.CountWindow(cnt, lst, x, 0)
 		}
 	}
 	limit := int32(a.spec.defect[v] / 4)
@@ -601,14 +602,14 @@ func (a *twoPhaseAlg) removeBadColors(v int) []int {
 		}
 		out = append(out, lst[bestJ])
 	}
-	putScratch(sc)
+	algkit.PutScratch(sc)
 	return out
 }
 
 func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 	h := a.spec.h
 	r := a.round
-	p, end := a.csr.off[v], a.csr.off[v+1]
+	p, end := a.csr.Off[v], a.csr.Off[v+1]
 	switch {
 	case r <= 2*h:
 		class := (r + 1) / 2
@@ -618,7 +619,7 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 			for _, msg := range in {
 				var pos int32
 				var ok bool
-				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+				if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 					continue
 				}
 				m, mok := asTypeMsg(msg.Payload, a.spec.m, a.spec.h, a.spec.spaceSize, a.sink)
@@ -638,16 +639,16 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 					defect:    a.spec.defect[v],
 					list:      a.curList[v],
 				})
-				sc := getScratch()
+				sc := algkit.GetScratch()
 				a.chooseCv(v, class, sc)
-				putScratch(sc)
+				algkit.PutScratch(sc)
 			}
 		} else {
 			// Round B: reconstruct announced candidate sets.
 			for _, msg := range in {
 				var pos int32
 				var ok bool
-				if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+				if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 					continue
 				}
 				m, mok := asChosenSetMsg(msg.Payload, a.spec.kprime, a.sink)
@@ -664,16 +665,16 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 				}
 			}
 			if class == h && a.spec.gclass[v] == h {
-				sc := getScratch()
+				sc := algkit.GetScratch()
 				a.pickColor(v, sc)
-				putScratch(sc)
+				algkit.PutScratch(sc)
 			}
 		}
 	default:
 		for _, msg := range in {
 			var pos int32
 			var ok bool
-			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+			if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 				continue
 			}
 			if m, mok := asColorMsg(msg.Payload, a.spec.spaceSize, a.sink); mok {
@@ -682,9 +683,9 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 		}
 		cur := h - (r - (2*h + 1))
 		if cur >= 1 && cur < h && a.spec.gclass[v] == cur {
-			sc := getScratch()
+			sc := algkit.GetScratch()
 			a.pickColor(v, sc)
-			putScratch(sc)
+			algkit.PutScratch(sc)
 		}
 	}
 }
@@ -694,23 +695,23 @@ func (a *twoPhaseAlg) Inbox(v int, in []sim.Received) {
 // recording the chosen index for the round-B announcement. The per-set
 // conflict counts come from one batched FamilyConflictMask call per
 // same-class neighbor.
-func (a *twoPhaseAlg) chooseCv(v, class int, sc *algScratch) {
+func (a *twoPhaseAlg) chooseCv(v, class int, sc *algkit.Scratch) {
 	own := a.ownK[v]
 	if len(own.Sets) == 0 {
 		a.cv[v] = a.curList[v]
 		a.cvIdx[v] = 0
 		return
 	}
-	d := grow32(sc.d, len(own.Sets))
-	sc.d = d
-	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+	d := algkit.Grow32(sc.D, len(own.Sets))
+	sc.D = d
+	for p := a.csr.Off[v]; p < a.csr.Off[v+1]; p++ {
 		fam := a.nbrFam[p]
 		if fam == nil || a.nbrType[p].gclass != class {
 			continue
 		}
-		accumulateConflicts(d, &sc.kernel, own, fam, a.spec.tau, 0)
+		algkit.AccumulateConflicts(d, &sc.Kernel, own, fam, a.spec.tau, 0)
 	}
-	bestIdx := conflictArgmin(d)
+	bestIdx := algkit.ConflictArgmin(d)
 	a.cv[v] = own.Sets[bestIdx]
 	a.cvIdx[v] = bestIdx
 }
@@ -720,18 +721,18 @@ func (a *twoPhaseAlg) chooseCv(v, class int, sc *algScratch) {
 // out-neighbors. The ignore test depends only on the neighbor, and each
 // non-ignored neighbor set is merged against C_v once, filling the whole
 // per-color count buffer in a single two-pointer pass.
-func (a *twoPhaseAlg) pickColor(v int, sc *algScratch) {
+func (a *twoPhaseAlg) pickColor(v int, sc *algkit.Scratch) {
 	class := a.spec.gclass[v]
 	cv := a.cv[v]
-	cnt := grow32(sc.cnt, len(cv))
-	sc.cnt = cnt
-	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+	cnt := algkit.Grow32(sc.Cnt, len(cv))
+	sc.Cnt = cnt
+	for p := a.csr.Off[v]; p < a.csr.Off[v+1]; p++ {
 		if a.nbrCv[p] != nil && a.nbrType[p].gclass == class &&
 			!cover.TauGConflict(cv, a.nbrCv[p], a.spec.tau, 0) {
-			countMerge(cnt, cv, a.nbrCv[p])
+			algkit.CountMerge(cnt, cv, a.nbrCv[p])
 		}
 		if xu := a.nbrColor[p]; xu >= 0 {
-			countWindow(cnt, cv, int(xu), 0)
+			algkit.CountWindow(cnt, cv, int(xu), 0)
 		}
 	}
 	bestX := -1

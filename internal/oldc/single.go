@@ -2,8 +2,8 @@ package oldc
 
 import (
 	"fmt"
-	"math/bits"
 
+	"repro/internal/algkit"
 	"repro/internal/bitio"
 	"repro/internal/cover"
 	"repro/internal/graph"
@@ -30,35 +30,6 @@ type basicSpec struct {
 	noCache    bool // disable the shared family cache (ablation/testing)
 }
 
-// outCSR is a CSR snapshot of the orientation's out-adjacency (mirroring
-// internal/graph's flat layout): positions off[v]..off[v+1] hold node v's
-// sorted out-neighbors, and all per-neighbor algorithm state is indexed by
-// that position. Inbox deliveries are sorted by sender id, so a two-pointer
-// merge against ids resolves each message's position without the per-message
-// HasArc binary search the map-based representation needed.
-type outCSR struct {
-	off []int32
-	ids []int32
-}
-
-func newOutCSR(o *graph.Oriented) outCSR {
-	n := o.N()
-	off := make([]int32, n+1)
-	total := 0
-	for v := 0; v < n; v++ {
-		total += len(o.Out(v))
-		off[v+1] = int32(total)
-	}
-	ids := make([]int32, 0, total)
-	for v := 0; v < n; v++ {
-		ids = append(ids, o.Out(v)...)
-	}
-	return outCSR{off: off, ids: ids}
-}
-
-// arcs returns the total number of arcs (the length of every flat array).
-func (c outCSR) arcs() int { return len(c.ids) }
-
 // basicAlg runs the basic algorithm:
 //
 //	round 1:      broadcast type; compute C_v from the received types (P2→P1)
@@ -68,14 +39,14 @@ func (c outCSR) arcs() int { return len(c.ids) }
 // for a total of h+1 rounds.
 //
 // Per-neighbor state lives in flat arrays indexed by out-neighbor position
-// (see outCSR); candidate families are derived once per distinct type
+// (see algkit.OutCSR); candidate families are derived once per distinct type
 // through the shared cover.FamilyCache and carry the packed column-mask
 // form the batched conflict kernel consumes.
 type basicAlg struct {
 	spec    basicSpec
 	sink    faultReporter      // decode-fault ledger (the engine); may be nil
 	cache   *cover.FamilyCache // nil when spec.noCache
-	csr     outCSR
+	csr     algkit.OutCSR
 	reslist [][]int // residue-restricted lists (Section 3.2.2)
 	ownK    []*cover.CachedFamily
 	cv      [][]int
@@ -102,7 +73,7 @@ type typeInfo struct {
 
 func newBasicAlg(spec basicSpec) (*basicAlg, error) {
 	n := spec.o.N()
-	csr := newOutCSR(spec.o)
+	csr := algkit.NewOutCSR(spec.o)
 	a := &basicAlg{
 		spec:     spec,
 		csr:      csr,
@@ -110,10 +81,10 @@ func newBasicAlg(spec basicSpec) (*basicAlg, error) {
 		ownK:     make([]*cover.CachedFamily, n),
 		cv:       make([][]int, n),
 		cvIdx:    make([]int, n),
-		nbrType:  make([]typeInfo, csr.arcs()),
-		nbrFam:   make([]*cover.CachedFamily, csr.arcs()),
-		nbrCv:    make([][]int, csr.arcs()),
-		nbrColor: make([]int32, csr.arcs()),
+		nbrType:  make([]typeInfo, csr.Arcs()),
+		nbrFam:   make([]*cover.CachedFamily, csr.Arcs()),
+		nbrCv:    make([][]int, csr.Arcs()),
+		nbrColor: make([]int32, csr.Arcs()),
 		phi:      make([]int, n),
 		pickedAt: make([]int, n),
 	}
@@ -189,25 +160,14 @@ func (a *basicAlg) Outbox(v int, out *sim.Outbox) {
 	}
 }
 
-// mergePos advances the position cursor to the sender's slot, exploiting
-// that both the inbox and the out-neighbor ids are sorted ascending. It
-// returns the matching position, the advanced cursor, and whether the
-// sender is an out-neighbor of the node.
-func (c outCSR) mergePos(p, end int32, from int) (int32, int32, bool) {
-	for p < end && c.ids[p] < int32(from) {
-		p++
-	}
-	return p, p, p < end && c.ids[p] == int32(from)
-}
-
 func (a *basicAlg) Inbox(v int, in []sim.Received) {
-	p, end := a.csr.off[v], a.csr.off[v+1]
+	p, end := a.csr.Off[v], a.csr.Off[v+1]
 	switch {
 	case a.round == 1:
 		for _, msg := range in {
 			var pos int32
 			var ok bool
-			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+			if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 				continue
 			}
 			m, mok := asTypeMsg(msg.Payload, a.spec.m, a.spec.h, a.spec.spaceSize, a.sink)
@@ -218,14 +178,14 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			a.nbrType[pos] = t
 			a.nbrFam[pos] = a.familyOf(t)
 		}
-		sc := getScratch()
+		sc := algkit.GetScratch()
 		a.chooseCv(v, sc)
-		putScratch(sc)
+		algkit.PutScratch(sc)
 	case a.round == 2:
 		for _, msg := range in {
 			var pos int32
 			var ok bool
-			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+			if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 				continue
 			}
 			m, mok := asChosenSetMsg(msg.Payload, a.spec.kprime, a.sink)
@@ -237,15 +197,15 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 			}
 		}
 		if a.spec.gclass[v] == a.spec.h {
-			sc := getScratch()
+			sc := algkit.GetScratch()
 			a.pickColor(v, sc)
-			putScratch(sc)
+			algkit.PutScratch(sc)
 		}
 	default:
 		for _, msg := range in {
 			var pos int32
 			var ok bool
-			if pos, p, ok = a.csr.mergePos(p, end, msg.From); !ok {
+			if pos, p, ok = a.csr.MergePos(p, end, msg.From); !ok {
 				continue
 			}
 			if m, mok := asColorMsg(msg.Payload, a.spec.spaceSize, a.sink); mok {
@@ -254,9 +214,9 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 		}
 		cur := a.spec.h - (a.round - 2)
 		if a.spec.gclass[v] == cur {
-			sc := getScratch()
+			sc := algkit.GetScratch()
 			a.pickColor(v, sc)
-			putScratch(sc)
+			algkit.PutScratch(sc)
 		}
 	}
 }
@@ -266,7 +226,7 @@ func (a *basicAlg) Inbox(v int, in []sim.Received) {
 // recording the chosen index for the round-2 announcement. One batched
 // FamilyConflictMask call per neighbor replaces the per-(set, neighbor,
 // set) scalar sweep; conflictArgmin keeps the same first-minimum rule.
-func (a *basicAlg) chooseCv(v int, sc *algScratch) {
+func (a *basicAlg) chooseCv(v int, sc *algkit.Scratch) {
 	own := a.ownK[v]
 	if len(own.Sets) == 0 {
 		// Degenerate family; fall back to the full restricted list.
@@ -274,51 +234,18 @@ func (a *basicAlg) chooseCv(v int, sc *algScratch) {
 		a.cvIdx[v] = 0
 		return
 	}
-	d := grow32(sc.d, len(own.Sets))
-	sc.d = d
-	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+	d := algkit.Grow32(sc.D, len(own.Sets))
+	sc.D = d
+	for p := a.csr.Off[v]; p < a.csr.Off[v+1]; p++ {
 		fam := a.nbrFam[p]
 		if fam == nil || a.nbrType[p].gclass > a.spec.gclass[v] {
 			continue
 		}
-		accumulateConflicts(d, &sc.kernel, own, fam, a.spec.tau, a.spec.gap)
+		algkit.AccumulateConflicts(d, &sc.Kernel, own, fam, a.spec.tau, a.spec.gap)
 	}
-	bestIdx := conflictArgmin(d)
+	bestIdx := algkit.ConflictArgmin(d)
 	a.cv[v] = own.Sets[bestIdx]
 	a.cvIdx[v] = bestIdx
-}
-
-// accumulateConflicts adds one to d[i] for every own candidate set i that
-// τ&g-conflicts with some set of the neighbor family fam. Families beyond
-// 64 sets exceed the mask width and take the scalar sweep.
-func accumulateConflicts(d []int32, k *cover.ConflictKernel, own, fam *cover.CachedFamily, tau, gap int) {
-	if len(d) <= 64 {
-		mask := k.FamilyConflictMask(own, fam, tau, gap)
-		for ; mask != 0; mask &= mask - 1 {
-			d[bits.TrailingZeros64(mask)]++
-		}
-		return
-	}
-	for i, c := range own.Sets {
-		for _, cu := range fam.Sets {
-			if cover.TauGConflict(c, cu, tau, gap) {
-				d[i]++
-				break
-			}
-		}
-	}
-}
-
-// conflictArgmin returns the first index of the minimum count (the rule
-// the scalar loop's strict < comparison implemented).
-func conflictArgmin(d []int32) int {
-	best := 0
-	for i := 1; i < len(d); i++ {
-		if d[i] < d[best] {
-			best = i
-		}
-	}
-	return best
 }
 
 // pickColor finalizes v's color: the list color with the lowest frequency
@@ -326,19 +253,19 @@ func conflictArgmin(d []int32) int {
 // higher-class out-neighbors (Section 3.2.3). The counts are accumulated
 // neighbor-outer into one per-color buffer, so each neighbor set is walked
 // once instead of once per own color.
-func (a *basicAlg) pickColor(v int, sc *algScratch) {
+func (a *basicAlg) pickColor(v int, sc *algkit.Scratch) {
 	cv := a.cv[v]
-	cnt := grow32(sc.cnt, len(cv))
-	sc.cnt = cnt
+	cnt := algkit.Grow32(sc.Cnt, len(cv))
+	sc.Cnt = cnt
 	g := a.spec.gap
-	for p := a.csr.off[v]; p < a.csr.off[v+1]; p++ {
+	for p := a.csr.Off[v]; p < a.csr.Off[v+1]; p++ {
 		if a.nbrCv[p] != nil && a.nbrType[p].gclass <= a.spec.gclass[v] {
 			for _, y := range a.nbrCv[p] {
-				countWindow(cnt, cv, y, g)
+				algkit.CountWindow(cnt, cv, y, g)
 			}
 		}
 		if xu := a.nbrColor[p]; xu >= 0 {
-			countWindow(cnt, cv, int(xu), g)
+			algkit.CountWindow(cnt, cv, int(xu), g)
 		}
 	}
 	bestX := -1
@@ -423,30 +350,9 @@ func gammaClass(beta, d, h int) int {
 	return i
 }
 
-// maxOutDegreePow2 returns β̂ = max_v β̂_v (out-degrees rounded up to powers
-// of two).
-func maxOutDegreePow2(o *graph.Oriented) int {
-	b := 1
-	for v := 0; v < o.N(); v++ {
-		p := nextPow2(o.OutDegree(v))
-		if p > b {
-			b = p
-		}
-	}
-	return b
-}
-
-func nextPow2(x int) int {
-	p := 1
-	for p < x {
-		p *= 2
-	}
-	return p
-}
-
 // classCount returns h = max(1, ⌈log₂ β̂⌉).
 func classCount(o *graph.Oriented) int {
-	b := maxOutDegreePow2(o)
+	b := algkit.MaxOutDegreePow2(o)
 	h := 0
 	for (1 << uint(h)) < b {
 		h++

@@ -3,6 +3,7 @@ package oldc
 import (
 	"testing"
 
+	"repro/internal/algkit"
 	"repro/internal/cover"
 	"repro/internal/graph"
 )
@@ -11,8 +12,8 @@ func TestNextPow2(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
 		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {17, 32}, {1024, 1024},
 	} {
-		if got := nextPow2(tc.in); got != tc.want {
-			t.Fatalf("nextPow2(%d)=%d want %d", tc.in, got, tc.want)
+		if got := algkit.NextPow2(tc.in); got != tc.want {
+			t.Fatalf("algkit.NextPow2(%d)=%d want %d", tc.in, got, tc.want)
 		}
 	}
 }
@@ -32,7 +33,7 @@ func TestClassCount(t *testing.T) {
 func TestMaxOutDegreePow2(t *testing.T) {
 	g := graph.CompleteBipartite(1, 5) // star: center degree 5
 	o := graph.Orient(g, func(u, v int) bool { return u == 0 })
-	if b := maxOutDegreePow2(o); b != 8 {
+	if b := algkit.MaxOutDegreePow2(o); b != 8 {
 		t.Fatalf("β̂=%d want 8", b)
 	}
 }
@@ -53,9 +54,9 @@ func TestRemoveBadColors(t *testing.T) {
 	a := newTwoPhase(spec)
 	// Per-color occurrence counts: 1→3, 2→5, 3→2 (at the limit: kept), 4→0.
 	sets := [][]int{{1, 2, 3}, {1, 2, 3}, {1, 2}, {2}, {2}}
-	for p := a.csr.off[0]; p < a.csr.off[1]; p++ {
+	for p := a.csr.Off[0]; p < a.csr.Off[1]; p++ {
 		a.nbrType[p] = typeInfo{gclass: 1}
-		a.nbrCv[p] = sets[int(p-a.csr.off[0])]
+		a.nbrCv[p] = sets[int(p-a.csr.Off[0])]
 	}
 	got := a.removeBadColors(0)
 	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
@@ -78,9 +79,9 @@ func TestRemoveBadColorsKeepsLeastBad(t *testing.T) {
 	a := newTwoPhase(spec)
 	// Counts: color 1 → 2 sets, color 2 → 1 set.
 	sets := [][]int{{1, 2}, {1}}
-	for p := a.csr.off[0]; p < a.csr.off[1]; p++ {
+	for p := a.csr.Off[0]; p < a.csr.Off[1]; p++ {
 		a.nbrType[p] = typeInfo{gclass: 1}
-		a.nbrCv[p] = sets[int(p-a.csr.off[0])]
+		a.nbrCv[p] = sets[int(p-a.csr.Off[0])]
 	}
 	got := a.removeBadColors(0)
 	if len(got) != 1 || got[0] != 2 {
